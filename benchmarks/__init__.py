@@ -1,0 +1,1 @@
+"""Figure-regeneration benchmark harness (one module per table/figure)."""

@@ -1,0 +1,130 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the required simulations (cached across benchmarks in
+one session, since several figures share the same runs), renders the same
+rows/series the paper plots, prints them, and writes them under
+``benchmarks/results/`` for EXPERIMENTS.md.
+
+Simulations are scaled down (``ACCESSES_PER_CORE`` memory operations per
+core instead of the paper's one million reads) so the whole harness
+finishes in minutes; the *relative* numbers are what the figures are
+about.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import format_series, format_table
+from repro.sim.config import SystemConfig
+from repro.sim.runner import SchemeOptions, run_scheme
+from repro.sim.system import RunResult
+from repro.workloads.spec import EVALUATION_SUITE, suite_specs
+
+#: Memory operations per core per run (the paper simulates to 1M reads).
+ACCESSES_PER_CORE = int(os.environ.get("REPRO_BENCH_ACCESSES", "250"))
+
+#: Upper bound per run; generous (slow schemes on intense workloads).
+MAX_CYCLES = 8_000_000
+
+CONFIG = SystemConfig(accesses_per_core=ACCESSES_PER_CORE)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_cache: Dict[Tuple, RunResult] = {}
+
+
+def run_cached(
+    scheme: str,
+    workload_name: str,
+    cores: int = 8,
+    turn_length: Optional[int] = None,
+    prefetch: bool = False,
+    suppress: bool = False,
+    boost: bool = False,
+    powerdown: bool = False,
+) -> RunResult:
+    """Run one (scheme, workload, options) simulation, memoized."""
+    key = (scheme, workload_name, cores, turn_length, prefetch,
+           suppress, boost, powerdown)
+    if key in _cache:
+        return _cache[key]
+    from repro.core.energy_opts import FsEnergyOptions
+
+    config = CONFIG if cores == 8 else CONFIG.with_cores(cores)
+    options = SchemeOptions(
+        turn_length=turn_length,
+        prefetch=prefetch,
+        energy=FsEnergyOptions(
+            suppress_dummies=suppress,
+            boost_row_hits=boost,
+            power_down_idle=powerdown,
+        ),
+    )
+    result = run_scheme(
+        scheme, config, suite_specs(workload_name, cores), options,
+        max_cycles=MAX_CYCLES,
+    )
+    _cache[key] = result
+    return result
+
+
+def weighted_ipc(scheme: str, workload_name: str, cores: int = 8,
+                 **kwargs) -> float:
+    """Sum of weighted IPC vs the non-secure baseline (same platform)."""
+    baseline = run_cached("baseline", workload_name, cores)
+    return run_cached(scheme, workload_name, cores, **kwargs) \
+        .weighted_ipc(baseline)
+
+
+def adjusted_total_energy(result: RunResult) -> float:
+    """Total energy including FS accounting-only optimizations (pJ)."""
+    from repro.core.energy_opts import adjusted_energy
+    from repro.dram.power import PowerModel
+
+    if result.adjustments is None:
+        return result.energy.total_pj
+    model = PowerModel(CONFIG.timing)
+    return adjusted_energy(
+        result.energy, result.adjustments, model
+    ).total_pj
+
+
+def publish(name: str, text: str) -> str:
+    """Print a figure's table and persist it under benchmarks/results."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def suite_series(
+    schemes: List[str], workloads: Optional[List[str]] = None, **kwargs
+) -> Dict[str, List[float]]:
+    """Weighted-IPC series over the workload suite for several schemes."""
+    workloads = workloads or EVALUATION_SUITE
+    series: Dict[str, List[float]] = {}
+    for scheme in schemes:
+        series[scheme] = [
+            weighted_ipc(scheme, wl, **kwargs) for wl in workloads
+        ]
+    return series
+
+
+def with_am(series: Dict[str, List[float]]) -> Dict[str, List[float]]:
+    """Append the arithmetic mean (the paper's 'AM' column)."""
+    return {
+        name: values + [arithmetic_mean(values)]
+        for name, values in series.items()
+    }
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)

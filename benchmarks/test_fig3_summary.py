@@ -1,0 +1,57 @@
+"""Figure 3: summary of design points, normalized to the baseline.
+
+Regenerates the scatter of normalized throughput per design point
+(baseline 1.0; paper: FS_RP 0.74 [rank partitioning], FS reordered BP
+0.48 and TP 0.43 [bank partitioning], FS triple alternation 0.40 and TP
+0.20 [no partitioning]).
+"""
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import format_table
+from repro.workloads.spec import EVALUATION_SUITE
+
+from .common import once, publish, suite_series
+
+PAPER = {
+    "baseline": 1.0,
+    "fs_rp": 0.74,
+    "fs_reordered_bp": 0.48,
+    "tp_bp": 0.43,
+    "fs_np_ta": 0.40,
+    "tp_np": 0.20,
+}
+
+PARTITIONING = {
+    "baseline": "-",
+    "fs_rp": "rank",
+    "fs_reordered_bp": "bank",
+    "tp_bp": "bank",
+    "fs_np_ta": "none",
+    "tp_np": "none",
+}
+
+
+def test_figure3_design_point_summary(benchmark):
+    schemes = [s for s in PAPER if s != "baseline"]
+    series = once(benchmark, lambda: suite_series(schemes))
+    normalized = {
+        s: arithmetic_mean(v) / 8.0 for s, v in series.items()
+    }
+    normalized["baseline"] = 1.0
+    rows = [
+        [s, PARTITIONING[s], round(normalized[s], 3), PAPER[s]]
+        for s in PAPER
+    ]
+    publish("fig3_summary", format_table(
+        ["design point", "partitioning", "measured", "paper"], rows,
+        title="Figure 3: normalized throughput of the design points",
+    ))
+    # The structure of the figure: every secure point below the
+    # baseline; rank partitioning on top; TP_NP at the bottom.
+    assert normalized["fs_rp"] == max(
+        v for s, v in normalized.items() if s != "baseline"
+    )
+    assert normalized["tp_np"] < normalized["tp_bp"]
+    assert normalized["fs_reordered_bp"] > normalized["tp_bp"]
+    # Rank-partitioned FS lands in the paper's band.
+    assert abs(normalized["fs_rp"] - PAPER["fs_rp"]) < 0.15

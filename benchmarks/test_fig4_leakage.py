@@ -1,0 +1,43 @@
+"""Figure 4: mcf execution profiles with and without FS.
+
+Regenerates the four curves — the baseline with quiet vs intense
+co-runners (divergent: the attacker reads the victims' memory intensity)
+and FS with the same pair (perfectly overlapping) — and asserts exact
+overlap for FS.
+"""
+
+from repro.analysis.leakage import figure4_profiles
+from repro.analysis.report import format_table
+
+from .common import CONFIG, once, publish
+
+
+def test_figure4_execution_profiles(benchmark):
+    profiles = once(benchmark, lambda: figure4_profiles(config=CONFIG))
+
+    base_quiet = profiles["baseline/non_intensive"]
+    base_loud = profiles["baseline/intensive"]
+    fs_quiet = profiles["fs_rp/non_intensive"]
+    fs_loud = profiles["fs_rp/intensive"]
+
+    rows = []
+    for (n, tq), (_, tl), (_, fq), (_, fl) in zip(
+        base_quiet.profile, base_loud.profile,
+        fs_quiet.profile, fs_loud.profile,
+    ):
+        rows.append([n, tq, tl, fq, fl])
+    publish("fig4_leakage", format_table(
+        ["instructions", "baseline/quiet", "baseline/intense",
+         "FS/quiet", "FS/intense"],
+        rows,
+        title="Figure 4: cycles to retire each instruction block "
+              "(mcf attacker; FS columns must be identical)",
+    ))
+
+    # Baseline curves diverge: co-runner intensity is observable.
+    assert base_quiet.profile != base_loud.profile
+    final_gap = base_loud.profile[-1][1] - base_quiet.profile[-1][1]
+    assert final_gap > 0
+    # FS curves overlap *perfectly* — the zero-leakage claim.
+    assert fs_quiet.profile == fs_loud.profile
+    assert fs_quiet.read_releases == fs_loud.read_releases

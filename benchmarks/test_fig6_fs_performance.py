@@ -1,0 +1,85 @@
+"""Figure 6: per-workload weighted IPC for FS and TP at 8 cores.
+
+Regenerates the figure's five series (FS_RP, FS_Reordered_BP, TP_BP,
+FS_NP_Optimized, TP_NP) over the paper's twelve workloads, plus the AM
+column, and asserts the paper's headline relationships:
+
+* FS_RP beats the best bank-partitioned TP (paper: +69%),
+* FS reordered-BP beats TP_BP (paper: +11%),
+* the best FS point lands within tens of percent of the non-secure
+  baseline (paper: -27%).
+
+Also regenerates the Section-7 text statistics: dummy fractions
+(2.3% libquantum ... 87% xalancbmk), mean memory latencies, and
+effective bandwidth.
+"""
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import format_series, format_table
+from repro.workloads.spec import EVALUATION_SUITE
+
+from .common import (
+    once,
+    publish,
+    run_cached,
+    suite_series,
+    weighted_ipc,
+    with_am,
+)
+
+SCHEMES = ["fs_rp", "fs_reordered_bp", "tp_bp", "fs_np_ta", "tp_np"]
+
+
+def test_figure6_weighted_ipc(benchmark):
+    series = once(benchmark, lambda: suite_series(SCHEMES))
+    labels = EVALUATION_SUITE + ["AM"]
+    publish("fig6_fs_performance", format_series(
+        labels, with_am(series),
+        title="Figure 6: sum of weighted IPCs, 8 cores "
+              "(non-secure baseline = 8.0)",
+    ))
+    am = {s: arithmetic_mean(v) for s, v in series.items()}
+    # Who wins, in order (paper: FS_RP > reordered BP > TP_BP; TA and
+    # TP_NP at the bottom).
+    assert am["fs_rp"] > am["fs_reordered_bp"] > am["tp_bp"]
+    assert am["tp_bp"] > am["tp_np"]
+    # FS_RP's margin over TP_BP (paper: 1.69x; our stricter closed-loop
+    # core model widens it — see EXPERIMENTS.md).
+    assert am["fs_rp"] / am["tp_bp"] > 1.5
+    # FS_RP vs the non-secure baseline (paper: 27% below).
+    assert 0.55 < am["fs_rp"] / 8.0 < 0.85
+
+
+def test_section7_fs_statistics(benchmark):
+    def collect():
+        rows = []
+        for wl in EVALUATION_SUITE:
+            fs = run_cached("fs_rp", wl)
+            tp = run_cached("tp_bp", wl)
+            rows.append([
+                wl,
+                f"{fs.stats.dummy_fraction:.1%}",
+                round(fs.stats.mean_read_latency, 1),
+                round(tp.stats.mean_read_latency, 1),
+                f"{fs.bus_utilization:.1%}",
+            ])
+        return rows
+
+    rows = once(benchmark, collect)
+    publish("section7_stats", format_table(
+        ["workload", "FS dummy fraction", "FS latency", "TP latency",
+         "FS bus util"],
+        rows,
+        title="Section 7 statistics (paper: dummies 2.3%..87%, "
+              "FS latency 288 vs TP 683, FS effective bandwidth 37%)",
+    ))
+    by_wl = {r[0]: r for r in rows}
+    # The intensity extremes keep their paper ordering.
+    lib = float(by_wl["libquantum"][1].rstrip("%"))
+    xal = float(by_wl["xalancbmk"][1].rstrip("%"))
+    assert lib < 20.0
+    assert xal > 50.0
+    # TP's queuing latency dwarfs FS's (paper: 683 vs 288 cycles).
+    mean_fs = arithmetic_mean([r[2] for r in rows])
+    mean_tp = arithmetic_mean([r[3] for r in rows])
+    assert mean_tp > 1.5 * mean_fs

@@ -1,0 +1,47 @@
+"""Figure 8: normalized memory energy for FS and TP schemes.
+
+Regenerates the per-workload energy of every secure scheme normalized to
+the non-secure baseline (paper: baseline lowest; FS beats TP by ~11%
+despite issuing 36.6% more accesses, because it finishes much sooner).
+"""
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import format_series
+from repro.workloads.spec import EVALUATION_SUITE
+
+from .common import once, publish, run_cached, with_am
+
+SCHEMES = ["fs_rp", "fs_reordered_bp", "tp_bp", "fs_np_ta", "tp_np"]
+
+
+def normalized_energy(scheme: str, workload: str) -> float:
+    baseline = run_cached("baseline", workload).energy.total_pj
+    return run_cached(scheme, workload).energy.total_pj / baseline
+
+
+def test_figure8_memory_energy(benchmark):
+    def sweep():
+        return {
+            scheme: [
+                normalized_energy(scheme, wl) for wl in EVALUATION_SUITE
+            ]
+            for scheme in SCHEMES
+        }
+
+    series = once(benchmark, sweep)
+    publish("fig8_energy", format_series(
+        EVALUATION_SUITE + ["AM"], with_am(series),
+        title="Figure 8: memory energy normalized to the non-secure "
+              "baseline (paper: FS within ~19% of baseline, ~11% below "
+              "TP)",
+    ))
+    am = {s: arithmetic_mean(v) for s, v in series.items()}
+    # The baseline is the most energy-efficient configuration.
+    assert all(v > 1.0 for v in am.values())
+    # FS_RP spends less energy than the bank-partitioned TP it replaces
+    # (the paper's 11.4% claim) thanks to far shorter execution.
+    assert am["fs_rp"] < am["tp_bp"]
+    # A no-partitioning scheme is the most expensive of all (energy
+    # tracks execution time; in our runs FS triple alternation and TP_NP
+    # trade that last place — see EXPERIMENTS.md).
+    assert max(am, key=am.get) in ("tp_np", "fs_np_ta")

@@ -1,0 +1,81 @@
+"""Sections 3-4: the solved pipeline constants.
+
+Regenerates the table of minimal slot gaps for every (sharing level,
+periodic mode) pair plus the derived interval lengths and peak bus
+utilizations the text quotes (l = 7 / 12 / 15 / 21 / 43, Q = 56 / 63 /
+120 / 344 / 360, utilization 57% / 51% / 27% / 9%).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.pipeline_solver import PipelineSolver
+from repro.core.schedule import (
+    build_fs_schedule,
+    build_reordered_bp_geometry,
+    build_triple_alternation_schedule,
+)
+from repro.core.pipeline_solver import PeriodicMode, SharingLevel
+from repro.dram.timing import DDR3_1600_X4
+
+from .common import once, publish
+
+PAPER_GAPS = {
+    ("rank", "data"): 7,
+    ("rank", "ras"): 12,
+    ("rank", "cas"): 12,
+    ("bank", "data"): 21,
+    ("bank", "ras"): 15,
+    ("none", "ras"): 43,
+}
+
+
+def test_minimal_slot_gaps(benchmark):
+    solver = PipelineSolver(DDR3_1600_X4)
+    grid = once(benchmark, solver.solve_all)
+    rows = [
+        [sharing, mode, gap,
+         PAPER_GAPS.get((sharing, mode), "-")]
+        for (sharing, mode), gap in sorted(grid.items())
+    ]
+    publish("pipeline_gaps", format_table(
+        ["sharing", "periodic mode", "solved l", "paper l"], rows,
+        title="Sections 3-4: minimal conflict-free slot gaps",
+    ))
+    for key, expected in PAPER_GAPS.items():
+        assert grid[key] == expected, key
+
+
+def test_design_point_geometry(benchmark):
+    def build():
+        rp = build_fs_schedule(DDR3_1600_X4, 8, SharingLevel.RANK)
+        bp = build_fs_schedule(DDR3_1600_X4, 8, SharingLevel.BANK)
+        np_ = build_fs_schedule(DDR3_1600_X4, 8, SharingLevel.NONE)
+        ta = build_triple_alternation_schedule(DDR3_1600_X4, 8)
+        re = build_reordered_bp_geometry(DDR3_1600_X4, 8)
+        return rp, bp, np_, ta, re
+
+    rp, bp, np_, ta, re = once(benchmark, build)
+    rows = [
+        ["FS rank partitioning", rp.interval_length,
+         f"{rp.peak_utilization():.0%}", "Q=56, 57%"],
+        ["FS bank partitioning", bp.interval_length,
+         f"{bp.peak_utilization():.0%}", "Q=120, 27%"],
+        ["FS reordered BP", re.interval_length,
+         f"{re.peak_utilization(4):.0%}", "Q=63, 51%"],
+        ["FS no partitioning", np_.interval_length,
+         f"{np_.peak_utilization():.0%}", "Q=344, 9%"],
+        ["FS triple alternation", ta.interval_length,
+         f"{ta.peak_utilization():.0%}", "Q=360, 27%"],
+    ]
+    publish("pipeline_geometry", format_table(
+        ["design point", "Q (8 threads)", "peak util", "paper"], rows,
+        title="Derived interval lengths and peak bus utilization",
+    ))
+    assert rp.interval_length == 56
+    assert bp.interval_length == 120
+    assert re.interval_length == 63
+    assert np_.interval_length == 344
+    assert ta.interval_length == 360
+    assert rp.peak_utilization() == pytest.approx(4 / 7)
+    assert re.peak_utilization(4) == pytest.approx(32 / 63)

@@ -1,0 +1,43 @@
+"""Table 1: simulator and DRAM parameters.
+
+Regenerates the configuration table and asserts the Table-1 values are
+wired through to the default configuration.
+"""
+
+from repro.analysis.report import format_table
+from repro.dram.timing import DDR3_1600_X4, DEFAULT_CLOCK
+from repro.sim.config import TABLE1_CONFIG
+
+from .common import once, publish
+
+
+def test_table1_configuration(benchmark):
+    def build():
+        p = DDR3_1600_X4
+        cfg = TABLE1_CONFIG
+        rows = [
+            ["CMP size / core freq",
+             f"{cfg.num_cores}-core, "
+             f"{3.2}" " GHz"],
+            ["ROB size per core", cfg.core.rob_size],
+            ["Fetch/retire width", cfg.core.width],
+            ["Channels / ranks / banks",
+             f"{cfg.geometry.channels} / {cfg.geometry.ranks} / "
+             f"{cfg.geometry.banks}"],
+            ["tRC, tRCD, tRAS", f"{p.tRC}, {p.tRCD}, {p.tRAS}"],
+            ["tFAW, tWR, tRP", f"{p.tFAW}, {p.tWR}, {p.tRP}"],
+            ["tRTRS, tCAS, tRTP", f"{p.tRTRS}, {p.tCAS}, {p.tRTP}"],
+            ["tBURST, tCCD, tWTR", f"{p.tBURST}, {p.tCCD}, {p.tWTR}"],
+            ["tRRD, tREFI, tRFC", f"{p.tRRD}, {p.tREFI}, {p.tRFC}"],
+            ["CPU cycles per mem cycle", DEFAULT_CLOCK.cpu_per_mem_cycle],
+        ]
+        return format_table(
+            ["parameter", "value"], rows,
+            title="Table 1: simulator and DRAM parameters",
+        )
+
+    table = once(benchmark, build)
+    publish("table1_config", table)
+    p = DDR3_1600_X4
+    assert (p.tRC, p.tRCD, p.tRAS, p.tFAW) == (39, 11, 28, 24)
+    assert (p.tRTRS, p.tCAS, p.tBURST, p.tWTR, p.tRRD) == (2, 11, 4, 6, 5)

@@ -1,0 +1,13 @@
+"""Make ``src/`` importable for pytest runs without an installed package.
+
+The canonical install is ``pip install -e .`` (or ``python setup.py
+develop`` on machines without the ``wheel`` package); this shim only keeps
+``pytest`` working from a bare checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

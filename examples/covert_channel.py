@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Build a memory-contention covert channel, then watch FS destroy it.
+
+A sender VM modulates its memory traffic (bursts = 1, silence = 0); a
+receiver VM in another security domain times its own probe reads.  On a
+contended scheduler the receiver's latency tracks the sender's bits —
+the attack of Wu et al. that the paper cites at 100+ bits/s on EC2.
+Under Fixed Service the receiver sees a flat line.
+
+Run:  python examples/covert_channel.py
+"""
+
+from repro import SystemConfig
+from repro.analysis import run_covert_channel
+
+MESSAGE = (1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 0, 1, 1, 0, 1)
+
+
+def transmit(scheme: str) -> None:
+    result = run_covert_channel(
+        scheme, MESSAGE, config=SystemConfig()
+    )
+    print(f"\n=== {scheme} ===")
+    print("sent:    ", "".join(map(str, result.sent_bits)))
+    print("decoded: ", "".join(map(str, result.decoded_bits)))
+    print(f"bit error rate: {result.bit_error_rate:.2f}   "
+          f"latency swing: {result.signal_swing:.1f} cycles")
+    bars = " ".join(f"{m:5.1f}" for m in result.window_means[:8])
+    print(f"receiver latency per window (first 8): {bars}")
+
+
+def main() -> None:
+    print("covert channel: sender bursts for 1-bits, receiver times "
+          "its own probes")
+    transmit("baseline")
+    transmit("fs_rp")
+    print("\nFS removes the contention the channel is made of: the "
+          "receiver's latency no longer depends on the sender at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Demonstrate the side channel — and its elimination (Figure 4).
+
+An attacker (mcf) runs alongside seven victim threads and measures only
+its *own* progress.  Under the non-secure baseline its execution profile
+shifts with the victims' memory intensity — enough to distinguish an
+idle victim from a busy one, which is exactly the primitive used to
+steal RSA keys in the paper's threat model.  Under Fixed Service the two
+profiles are bit-for-bit identical.
+
+Run:  python examples/side_channel_attack.py
+"""
+
+from repro import SystemConfig, workload
+from repro.analysis import interference_report
+from repro.workloads import idle_spec, intense_spec
+
+
+def spy(scheme: str) -> None:
+    report = interference_report(
+        scheme,
+        victim=workload("mcf"),
+        co_runners=[idle_spec(), intense_spec()],
+        config=SystemConfig(accesses_per_core=600),
+    )
+    quiet, loud = report.views
+    print(f"\n=== {scheme} ===")
+    print(f"attacker IPC with idle victims:    {quiet.ipc:.4f}")
+    print(f"attacker IPC with intense victims: {loud.ipc:.4f}")
+    if report.leaks:
+        print("LEAK: the profiles diverge by up to "
+              f"{report.max_profile_divergence_cycles:,} cycles — the "
+              "attacker can read the victims' memory intensity")
+    else:
+        print("no leak: the attacker's timing is bit-for-bit identical "
+              "regardless of what the victims do")
+
+
+def main() -> None:
+    print("The attacker measures its own execution time while victims")
+    print("either idle or hammer memory (the Figure 4 experiment).")
+    spy("baseline")
+    spy("fs_rp")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Security and performance analysis: leakage, covert channels, metrics."""
+
+from .leakage import (
+    InterferenceReport,
+    VictimView,
+    figure4_profiles,
+    interference_report,
+    victim_view,
+)
+from .bandwidth import (
+    LoadPoint,
+    bandwidth_latency_curve,
+    measure_load_point,
+    saturation_bandwidth,
+)
+from .covert import CovertChannelResult, run_covert_channel
+from .exhaustive import ExhaustiveReport, exhaustive_noninterference
+from .mutual_information import (
+    LeakageEstimate,
+    estimate_channel_leakage,
+    mutual_information_bits,
+)
+from .metrics import (
+    SchemeSummary,
+    arithmetic_mean,
+    geometric_mean,
+    normalized,
+    sum_weighted_ipc,
+)
+from .report import format_comparison, format_series, format_table
+
+__all__ = [
+    "LoadPoint", "bandwidth_latency_curve", "measure_load_point",
+    "saturation_bandwidth",
+    "InterferenceReport", "VictimView", "figure4_profiles",
+    "interference_report", "victim_view",
+    "CovertChannelResult", "run_covert_channel",
+    "ExhaustiveReport", "exhaustive_noninterference",
+    "LeakageEstimate", "estimate_channel_leakage",
+    "mutual_information_bits",
+    "SchemeSummary", "arithmetic_mean", "geometric_mean",
+    "normalized", "sum_weighted_ipc",
+    "format_comparison", "format_series", "format_table",
+]

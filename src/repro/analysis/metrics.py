@@ -1,0 +1,74 @@
+"""Evaluation metrics (Section 6/7): weighted IPC and friends."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..sim.system import RunResult
+
+
+def sum_weighted_ipc(run: RunResult, baseline: RunResult) -> float:
+    """Sum over cores of IPC(run) / IPC(baseline) — the paper's metric.
+
+    A non-secure baseline scores ``num_cores`` against itself.
+    """
+    return run.weighted_ipc(baseline)
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average (the paper's AM columns)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized(value: float, reference: float) -> float:
+    """value / reference, with a zero-reference guard."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return value / reference
+
+
+@dataclass
+class SchemeSummary:
+    """Cross-workload summary for one scheme."""
+
+    scheme: str
+    #: workload -> sum of weighted IPC.
+    weighted_ipc: Dict[str, float]
+    #: workload -> normalized memory energy (vs baseline).
+    energy: Dict[str, float]
+    #: workload -> mean demand-read latency (cycles).
+    latency: Dict[str, float]
+    #: workload -> dummy fraction (FS only; 0 otherwise).
+    dummy_fraction: Dict[str, float]
+
+    @property
+    def mean_weighted_ipc(self) -> float:
+        return arithmetic_mean(list(self.weighted_ipc.values()))
+
+    @property
+    def mean_energy(self) -> float:
+        return arithmetic_mean(list(self.energy.values()))
+
+    @property
+    def mean_latency(self) -> float:
+        return arithmetic_mean(list(self.latency.values()))
+
+    def relative_to(self, other: "SchemeSummary") -> float:
+        """Throughput of this scheme relative to another (ratio of mean
+        weighted IPC) — e.g. FS_RP vs TP_BP is the paper's +69%."""
+        return self.mean_weighted_ipc / other.mean_weighted_ipc

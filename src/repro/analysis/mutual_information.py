@@ -1,0 +1,115 @@
+"""Quantify leakage in bits: mutual information of the memory channel.
+
+The paper argues FS gives *zero* information leakage; the operational
+test (exact trace equality) is binary.  This module gives the graded
+version: treat the co-runner behaviour as a secret random variable ``S``
+and the attacker's observation (its own run time / latency profile) as
+``O``, estimate ``I(S; O)`` empirically, and report bits per observation.
+
+For a deterministic simulator each (scheme, secret) pair yields one
+observation, so observations are augmented with the attacker's own seed:
+the secret is leaked exactly when observations *cluster by secret*
+beyond what seed variation explains.  With FS the observation is a pure
+function of the attacker's seed, so the estimated MI is exactly zero;
+with the baseline it approaches ``log2(len(secrets))``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.config import SystemConfig
+from ..workloads.spec import workload
+from ..workloads.synthetic import WorkloadSpec, idle_spec, intense_spec
+from .leakage import victim_view
+
+
+def mutual_information_bits(
+    samples: Sequence[Tuple[int, Tuple]],
+) -> float:
+    """Plug-in MI estimate from (secret, observation) samples.
+
+    ``I(S;O) = H(S) + H(O) - H(S,O)`` with empirical distributions.
+    Observations must be hashable.
+    """
+    if not samples:
+        raise ValueError("need samples")
+    n = len(samples)
+
+    def entropy(counter: Counter) -> float:
+        return -sum(
+            (c / n) * math.log2(c / n) for c in counter.values()
+        )
+
+    h_s = entropy(Counter(s for s, _ in samples))
+    h_o = entropy(Counter(o for _, o in samples))
+    h_so = entropy(Counter(samples))
+    return max(0.0, h_s + h_o - h_so)
+
+
+@dataclass(frozen=True)
+class LeakageEstimate:
+    """MI of the co-runner secret given the attacker's observations."""
+
+    scheme: str
+    bits: float
+    max_bits: float
+    samples: int
+
+    @property
+    def fraction_leaked(self) -> float:
+        if self.max_bits == 0:
+            return 0.0
+        return self.bits / self.max_bits
+
+
+def estimate_channel_leakage(
+    scheme: str,
+    secrets: Optional[Sequence[WorkloadSpec]] = None,
+    attacker: Optional[WorkloadSpec] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    config: Optional[SystemConfig] = None,
+) -> LeakageEstimate:
+    """Estimate how many bits of the co-runner identity the attacker's
+    own finishing time reveals under ``scheme``.
+
+    Each sample runs the attacker (with one of several trace seeds, so
+    the attacker's own variation is represented) against one secret
+    co-runner; the observation is the attacker's full execution profile.
+    """
+    config = config or SystemConfig(accesses_per_core=200)
+    if secrets is None:
+        secrets = [idle_spec(), intense_spec(), workload("milc")]
+    attacker = attacker or workload("mcf")
+    samples: List[Tuple[int, Tuple]] = []
+    for seed in seeds:
+        seeded = replace(config, seed=1000 + seed)
+        for index, secret in enumerate(secrets):
+            view = victim_view(
+                scheme, attacker, secret, config=seeded
+            )
+            # The observation is the profile *relative to this seed's
+            # own idle run*: collapse seed-induced variation by pairing
+            # with the secret-0 reference.
+            samples.append((index, (seed, view.profile)))
+    # Condition out the seed: group by seed, and within each group map
+    # each distinct observation to its canonical id.
+    canonical: List[Tuple[int, Tuple]] = []
+    for seed in seeds:
+        group = [
+            (s, o) for s, (g, o) in samples if g == seed
+        ]
+        ids: Dict[Tuple, int] = {}
+        for s, o in group:
+            ids.setdefault(o, len(ids))
+        canonical.extend((s, (ids[o],)) for s, o in group)
+    bits = mutual_information_bits(canonical)
+    return LeakageEstimate(
+        scheme=scheme,
+        bits=bits,
+        max_bits=math.log2(len(secrets)),
+        samples=len(canonical),
+    )

@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment results (figure regeneration).
+
+The benchmark harness prints each figure as an ASCII table whose rows and
+series match the paper's plots, so paper-vs-measured comparison is a
+side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width table."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells))
+        if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render named series against shared X labels (a figure as a table)."""
+    headers = ["x"] + list(series.keys())
+    rows = []
+    for i, label in enumerate(x_labels):
+        rows.append([label] + [values[i] for values in series.values()])
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def format_comparison(
+    name: str,
+    paper_value: float,
+    measured_value: float,
+    unit: str = "",
+) -> str:
+    """One paper-vs-measured line for EXPERIMENTS.md."""
+    return (
+        f"{name}: paper {paper_value:g}{unit}, "
+        f"measured {measured_value:g}{unit}"
+    )

@@ -1,0 +1,16 @@
+"""Cache models used to derive post-LLC traces from raw access streams."""
+
+from .cache import AccessOutcome, Cache, CacheConfig
+from .hierarchy import (
+    CacheHierarchy,
+    HierarchyStats,
+    L1_CONFIG,
+    L2_CONFIG,
+    filter_trace,
+)
+
+__all__ = [
+    "AccessOutcome", "Cache", "CacheConfig",
+    "CacheHierarchy", "HierarchyStats", "L1_CONFIG", "L2_CONFIG",
+    "filter_trace",
+]

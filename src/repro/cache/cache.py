@@ -1,0 +1,86 @@
+"""Set-associative cache model with LRU replacement.
+
+Used by the trace tooling (:mod:`repro.cache.hierarchy`) to filter raw
+address streams into the post-LLC miss streams the memory controllers
+actually see — the role Simics' cache hierarchy plays in the paper's
+methodology.  Addresses are cache-line granular throughout.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level, in cache lines."""
+
+    name: str
+    lines: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.lines < 1 or self.associativity < 1:
+            raise ValueError("cache dimensions must be positive")
+        if self.lines % self.associativity != 0:
+            raise ValueError("lines must divide evenly into ways")
+
+    @property
+    def sets(self) -> int:
+        return self.lines // self.associativity
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one cache access."""
+
+    hit: bool
+    #: Dirty line pushed out, if the access caused a writeback.
+    writeback_line: Optional[int] = None
+
+
+class Cache:
+    """One level: LRU, write-back, write-allocate."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.sets)
+        ]
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_writebacks = 0
+
+    def _set_of(self, line: int) -> "OrderedDict[int, bool]":
+        return self._sets[line % self.config.sets]
+
+    def access(self, line: int, is_write: bool) -> AccessOutcome:
+        """Touch ``line``; returns hit/miss and any eviction writeback."""
+        if line < 0:
+            raise ValueError("line must be non-negative")
+        entries = self._set_of(line)
+        if line in entries:
+            self.stat_hits += 1
+            entries.move_to_end(line)
+            if is_write:
+                entries[line] = True
+            return AccessOutcome(hit=True)
+        self.stat_misses += 1
+        writeback: Optional[int] = None
+        if len(entries) >= self.config.associativity:
+            victim, dirty = entries.popitem(last=False)
+            if dirty:
+                writeback = victim
+                self.stat_writebacks += 1
+        entries[line] = is_write
+        return AccessOutcome(hit=False, writeback_line=writeback)
+
+    def contains(self, line: int) -> bool:
+        return line in self._set_of(line)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stat_hits + self.stat_misses
+        return self.stat_hits / total if total else 0.0

@@ -1,0 +1,94 @@
+"""Two-level cache hierarchy and raw-trace filtering.
+
+:func:`filter_trace` converts a raw (pre-cache) access stream into the
+post-LLC :class:`~repro.cpu.trace.Trace` that the cores feed to the
+memory system: LLC read misses become memory reads, dirty evictions
+become memory writes.  This mirrors the paper's Simics cache setup
+(32 KB L1, 4 MB shared L2) at line granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..cpu.trace import Trace, TraceRecord
+from ..dram.commands import OpType
+from .cache import AccessOutcome, Cache, CacheConfig
+
+#: Table-1-like hierarchy: 32 KB / 2-way L1 and a 4 MB / 8-way L2, with
+#: 64-byte lines.
+L1_CONFIG = CacheConfig(name="L1D", lines=512, associativity=2)
+L2_CONFIG = CacheConfig(name="L2", lines=65536, associativity=8)
+
+
+@dataclass
+class HierarchyStats:
+    l1_hit_rate: float
+    l2_hit_rate: float
+    memory_reads: int
+    memory_writes: int
+
+
+class CacheHierarchy:
+    """L1 + shared-L2 filter for one thread's access stream."""
+
+    def __init__(
+        self,
+        l1: CacheConfig = L1_CONFIG,
+        l2: CacheConfig = L2_CONFIG,
+    ) -> None:
+        self.l1 = Cache(l1)
+        self.l2 = Cache(l2)
+
+    def access(self, line: int, is_write: bool) -> List[Tuple[OpType, int]]:
+        """One CPU access; returns resulting memory transactions."""
+        memory: List[Tuple[OpType, int]] = []
+        outcome = self.l1.access(line, is_write)
+        if outcome.writeback_line is not None:
+            l2_out = self.l2.access(outcome.writeback_line, True)
+            if l2_out.writeback_line is not None:
+                memory.append((OpType.WRITE, l2_out.writeback_line))
+        if outcome.hit:
+            return memory
+        l2_out = self.l2.access(line, is_write)
+        if l2_out.writeback_line is not None:
+            memory.append((OpType.WRITE, l2_out.writeback_line))
+        if not l2_out.hit:
+            memory.append((OpType.READ, line))
+        return memory
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            l1_hit_rate=self.l1.hit_rate,
+            l2_hit_rate=self.l2.hit_rate,
+            memory_reads=self.l2.stat_misses,
+            memory_writes=self.l2.stat_writebacks,
+        )
+
+
+def filter_trace(
+    raw_accesses: Iterable[Tuple[int, int, bool]],
+    name: str = "filtered",
+    hierarchy: CacheHierarchy = None,
+) -> Trace:
+    """Filter raw accesses into a post-LLC memory trace.
+
+    ``raw_accesses`` yields (gap_instructions, line, is_write) triples at
+    CPU level.  Returns a :class:`Trace` of the resulting memory
+    transactions; each carries the instruction gap accumulated since the
+    previous transaction.
+    """
+    hierarchy = hierarchy or CacheHierarchy()
+    records: List[TraceRecord] = []
+    pending_gap = 0
+    for gap, line, is_write in raw_accesses:
+        pending_gap += gap + 1  # the access itself is an instruction
+        for op, mem_line in hierarchy.access(line, is_write):
+            records.append(TraceRecord(
+                gap=max(0, pending_gap - 1),
+                op=op,
+                line=mem_line,
+            ))
+            pending_gap = 0
+    return Trace(records, name=name)

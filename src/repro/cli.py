@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``solve``   — print the minimal slot gaps / pipeline geometry for the
+  configured DRAM part (Sections 3-4).
+* ``run``     — simulate one scheme on one workload and print the result.
+* ``compare`` — run several schemes on one workload against the baseline.
+* ``audit``   — non-interference check for a scheme (Figure 4 style).
+* ``covert``  — covert-channel measurement through a scheme.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.covert import run_covert_channel
+from .analysis.leakage import interference_report
+from .analysis.report import format_table
+from .core.pipeline_solver import PipelineSolver
+from .core.schedule import (
+    build_fs_schedule,
+    build_reordered_bp_geometry,
+    build_triple_alternation_schedule,
+)
+from .core.pipeline_solver import PeriodicMode, SharingLevel
+from .dram.timing import DDR3_1600_X4
+from .sim.config import SystemConfig
+from .sim.runner import SCHEMES, SchemeOptions, run_scheme
+from .workloads.spec import EVALUATION_SUITE, suite_specs, workload
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--accesses", type=int, default=1000,
+        help="memory accesses per core (default 1000)",
+    )
+    parser.add_argument(
+        "--cores", type=int, default=8, help="cores / security domains"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="trace generation seed"
+    )
+
+
+def _config(args) -> SystemConfig:
+    config = SystemConfig(
+        accesses_per_core=args.accesses, seed=args.seed
+    )
+    if args.cores != config.num_cores:
+        config = config.with_cores(args.cores)
+    return config
+
+
+def cmd_solve(args) -> int:
+    """Print the solved pipeline constants for the default part."""
+    solver = PipelineSolver(DDR3_1600_X4)
+    rows = []
+    for sharing in SharingLevel:
+        for mode in PeriodicMode:
+            rows.append([sharing.value, mode.value,
+                         solver.solve(mode, sharing)])
+    print(format_table(
+        ["sharing", "periodic mode", "minimal l"], rows,
+        title="Minimal conflict-free slot gaps (DDR3-1600, Table 1)",
+    ))
+    n = args.cores
+    rp = build_fs_schedule(DDR3_1600_X4, n, SharingLevel.RANK)
+    ta = build_triple_alternation_schedule(DDR3_1600_X4, n)
+    re = build_reordered_bp_geometry(DDR3_1600_X4, n)
+    print(f"\n{n}-domain geometry: FS_RP Q={rp.interval_length} "
+          f"({rp.peak_utilization():.0%}), reordered BP "
+          f"Q={re.interval_length} ({re.peak_utilization(4):.0%}), "
+          f"triple alternation Q={ta.interval_length} "
+          f"({ta.peak_utilization():.0%})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Simulate one scheme on one workload and print a summary."""
+    config = _config(args)
+    result = run_scheme(
+        args.scheme, config, suite_specs(args.workload, args.cores),
+        SchemeOptions(prefetch=args.prefetch),
+    )
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["cycles", result.cycles],
+            ["reads completed", result.total_reads],
+            ["bus utilization", f"{result.bus_utilization:.1%}"],
+            ["mean read latency",
+             f"{result.stats.mean_read_latency:.1f}"],
+            ["dummy fraction", f"{result.stats.dummy_fraction:.1%}"],
+            ["energy (mJ)", f"{result.energy.total_mj:.3f}"],
+        ],
+        title=f"{args.scheme} on {args.workload} x {args.cores}",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run schemes against the non-secure baseline and tabulate."""
+    config = _config(args)
+    specs = suite_specs(args.workload, args.cores)
+    baseline = run_scheme("baseline", config, specs)
+    rows = [["baseline", float(args.cores), "1.000"]]
+    for scheme in args.schemes:
+        result = run_scheme(scheme, config, specs)
+        w = result.weighted_ipc(baseline)
+        rows.append([scheme, round(w, 3),
+                     f"{w / args.cores:.3f}"])
+    print(format_table(
+        ["scheme", "sum weighted IPC", "normalized"], rows,
+        title=f"{args.workload} x {args.cores} cores",
+    ))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    """Non-interference check; exit 0 iff the scheme is isolating."""
+    config = _config(args)
+    report = interference_report(
+        args.scheme, workload(args.workload), config=config
+    )
+    print(f"scheme {args.scheme}, victim {args.workload}:")
+    if report.identical:
+        print("  NON-INTERFERING: victim timing is bit-for-bit "
+              "identical under co-runner variation")
+        return 0
+    print("  LEAKS: profile divergence up to "
+          f"{report.max_profile_divergence_cycles} cycles, read-release "
+          f"divergence up to {report.max_release_divergence_cycles}")
+    return 1
+
+
+def cmd_covert(args) -> int:
+    """Covert-channel measurement; exit 0 iff the channel is dead."""
+    config = _config(args)
+    result = run_covert_channel(args.scheme, config=config)
+    print(f"covert channel through {args.scheme}:")
+    print(f"  sent:    {''.join(map(str, result.sent_bits))}")
+    print(f"  decoded: {''.join(map(str, result.decoded_bits))}")
+    print(f"  bit error rate {result.bit_error_rate:.2f}, latency "
+          f"swing {result.signal_swing:.1f} cycles")
+    return 0 if result.bit_error_rate >= 0.3 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fixed Service memory controllers (MICRO-48 2015) "
+                    "— simulation toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="pipeline constants (Sections 3-4)")
+    _add_common(p)
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("run", help="simulate one scheme")
+    p.add_argument("scheme", choices=SCHEMES)
+    p.add_argument("workload", help="benchmark or mix name "
+                   f"(e.g. {', '.join(EVALUATION_SUITE[:4])}, ...)")
+    p.add_argument("--prefetch", action="store_true")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="schemes vs the baseline")
+    p.add_argument("workload")
+    p.add_argument("schemes", nargs="+",
+                   help=f"schemes to compare ({', '.join(SCHEMES)})")
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("audit", help="non-interference check")
+    p.add_argument("scheme", choices=SCHEMES)
+    p.add_argument("--workload", default="mcf")
+    _add_common(p)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("covert", help="covert-channel measurement")
+    p.add_argument("scheme", choices=SCHEMES)
+    _add_common(p)
+    p.set_defaults(func=cmd_covert)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Memory-controller schedulers: non-secure baselines and prior work."""
+
+from .base import ControllerStats, MemoryController
+from .fcfs import FcfsController
+from .frfcfs import FrFcfsController
+from .tp import (
+    DEFAULT_TURN_BP,
+    DEFAULT_TURN_NP,
+    TemporalPartitioningController,
+    default_dead_time,
+    default_turn_length,
+    min_turn_length,
+)
+
+__all__ = [
+    "ControllerStats", "MemoryController",
+    "FcfsController", "FrFcfsController",
+    "TemporalPartitioningController", "default_dead_time",
+    "default_turn_length", "min_turn_length",
+    "DEFAULT_TURN_BP", "DEFAULT_TURN_NP",
+]

@@ -1,0 +1,213 @@
+"""Memory-controller framework shared by all schedulers.
+
+A controller owns one :class:`~repro.dram.system.DramSystem`, accepts
+:class:`~repro.dram.commands.Request` transactions, and advances through
+time issuing DRAM commands.  The interface is event-driven:
+
+* :meth:`MemoryController.enqueue` — a new transaction arrives.
+* :meth:`MemoryController.advance` — process through ``until`` cycles,
+  returning every request *released* (result returned to the core) in the
+  meantime.
+* :meth:`MemoryController.next_event` — the next cycle at which the
+  controller could do something, used by the simulation loop.
+
+Subclasses implement :meth:`_work` which performs scheduling between the
+current cycle and ``until``.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..dram.commands import (
+    Address,
+    Command,
+    CommandType,
+    OpType,
+    Request,
+    RequestKind,
+)
+from ..dram.system import DramSystem
+from ..dram.timing import TimingParams
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate service statistics, split demand / prefetch / dummy."""
+
+    demand_reads: int = 0
+    demand_writes: int = 0
+    prefetches: int = 0
+    dummies: int = 0
+    suppressed_dummies: int = 0
+    row_hit_boosts: int = 0
+    read_latency_sum: int = 0
+    read_count: int = 0
+    #: Requests whose slot had to stay empty (intra-domain hazard).
+    bubbles: int = 0
+    #: Slots filled with a dummy although the domain had pending demand
+    #: (blocked by a bank-class restriction or a self-hazard).
+    blocked_slots: int = 0
+
+    @property
+    def serviced(self) -> int:
+        return (
+            self.demand_reads + self.demand_writes
+            + self.prefetches + self.dummies
+        )
+
+    @property
+    def dummy_fraction(self) -> float:
+        if self.serviced == 0:
+            return 0.0
+        return self.dummies / self.serviced
+
+    @property
+    def prefetch_fraction(self) -> float:
+        if self.serviced == 0:
+            return 0.0
+        return self.prefetches / self.serviced
+
+    @property
+    def mean_read_latency(self) -> float:
+        if self.read_count == 0:
+            return 0.0
+        return self.read_latency_sum / self.read_count
+
+    def record_service(self, request: Request) -> None:
+        if request.kind is RequestKind.DUMMY:
+            self.dummies += 1
+        elif request.kind is RequestKind.PREFETCH:
+            self.prefetches += 1
+        elif request.is_read:
+            self.demand_reads += 1
+        else:
+            self.demand_writes += 1
+
+    def record_release(self, request: Request) -> None:
+        if request.kind is RequestKind.DEMAND and request.is_read:
+            latency = request.latency
+            assert latency is not None
+            self.read_latency_sum += latency
+            self.read_count += 1
+
+
+class MemoryController(abc.ABC):
+    """Base class: request queues, command log, release plumbing."""
+
+    def __init__(
+        self,
+        dram: DramSystem,
+        num_domains: int,
+        log_commands: bool = False,
+    ) -> None:
+        if num_domains < 1:
+            raise ValueError("need at least one domain")
+        self.dram = dram
+        self.params: TimingParams = dram.params
+        self.num_domains = num_domains
+        self.now = 0
+        self.stats = ControllerStats()
+        self.log_commands = log_commands
+        #: Full command log (only when log_commands is set; used by the
+        #: timing checker and the security tests).
+        self.command_log: List[Command] = []
+        self._release_heap: List[Tuple[int, int, Request]] = []
+        self._seq = itertools.count()
+        #: Per-domain service trace: (slot/issue cycle, kind) — the
+        #: observable the non-interference tests compare.
+        self.service_trace: Dict[int, List[Tuple[int, str]]] = {
+            d: [] for d in range(num_domains)
+        }
+
+    # ------------------------------------------------------------------
+    # Public interface.
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def enqueue(self, request: Request) -> None:
+        """Accept a transaction.
+
+        Contract: requests are delivered in arrival order, no earlier than
+        ``advance`` has reached them (``request.arrival`` may not exceed
+        the next ``advance`` horizon).  Demand-sensitive policies (write
+        drain, FS slot decisions) read queue occupancy, so future-dated
+        enqueues would distort scheduling.
+        """
+
+    @abc.abstractmethod
+    def pending(self, domain: Optional[int] = None) -> int:
+        """Number of queued demand transactions (optionally per domain)."""
+
+    def can_accept(self, domain: int) -> bool:
+        """Whether a new transaction from ``domain`` may be enqueued now.
+
+        Returning False applies back-pressure: the system holds the
+        request and the producing core stalls, exactly as Section 5.1
+        describes for a full transaction queue.  Default: unbounded.
+        """
+        del domain
+        return True
+
+    def advance(self, until: int) -> List[Request]:
+        """Process through cycle ``until`` and return released requests."""
+        if until < self.now:
+            raise ValueError("time cannot move backwards")
+        self._work(until)
+        self.now = until
+        released: List[Request] = []
+        while self._release_heap and self._release_heap[0][0] <= until:
+            _, _, request = heapq.heappop(self._release_heap)
+            released.append(request)
+            self.stats.record_release(request)
+        return released
+
+    @abc.abstractmethod
+    def next_event(self) -> Optional[int]:
+        """Next cycle > now at which this controller can make progress,
+        or None if it is idle until new requests arrive."""
+
+    def drain_deadline(self) -> Optional[int]:
+        """Earliest cycle by which every accepted request will have been
+        released, if the controller can tell; used for clean shutdown."""
+        if self._release_heap:
+            return self._release_heap[0][0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses.
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _work(self, until: int) -> None:
+        """Scheduling work between ``self.now`` and ``until``."""
+
+    def _issue(self, command: Command) -> Optional[int]:
+        """Issue a command to its channel, with optional logging."""
+        data_start = self.dram.channels[command.channel].issue(command)
+        if self.log_commands:
+            self.command_log.append(command)
+        return data_start
+
+    def _schedule_release(self, request: Request, cycle: int) -> None:
+        request.release = cycle
+        heapq.heappush(
+            self._release_heap, (cycle, next(self._seq), request)
+        )
+
+    def _trace(self, domain: int, cycle: int, what: str) -> None:
+        self.service_trace[domain].append((cycle, what))
+
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Close out power-state accounting at the current cycle."""
+        self.dram.finalize(self.now)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,94 @@
+"""Strict FCFS controller (closed-page), a simple reference point.
+
+Serves each channel's transactions strictly in arrival order with
+auto-precharge columns.  Not part of the paper's evaluation, but useful as
+the simplest correct scheduler for tests and as a lower bound on
+non-secure performance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dram.commands import Command, CommandType, Request
+from ..dram.system import DramSystem
+from .base import MemoryController
+
+
+class FcfsController(MemoryController):
+    """One transaction at a time, in order, closed page."""
+
+    def __init__(
+        self,
+        dram: DramSystem,
+        num_domains: int,
+        log_commands: bool = False,
+    ) -> None:
+        super().__init__(dram, num_domains, log_commands)
+        self._queues: List[List[Request]] = [
+            [] for _ in range(dram.num_channels)
+        ]
+        self._idle_hint: List[int] = [0] * dram.num_channels
+
+    def enqueue(self, request: Request) -> None:
+        self._queues[request.address.channel].append(request)
+        self._idle_hint[request.address.channel] = 0
+
+    def pending(self, domain: Optional[int] = None) -> int:
+        return sum(
+            1
+            for queue in self._queues
+            for request in queue
+            if domain is None or request.domain == domain
+        )
+
+    def next_event(self) -> Optional[int]:
+        upcoming = [
+            max(self._idle_hint[ch], self.now + 1)
+            for ch, queue in enumerate(self._queues)
+            if queue
+        ]
+        if self._release_heap:
+            upcoming.append(max(self.now + 1, self._release_heap[0][0]))
+        return min(upcoming) if upcoming else None
+
+    def _work(self, until: int) -> None:
+        for ch, queue in enumerate(self._queues):
+            channel = self.dram.channels[ch]
+            while queue:
+                request = queue[0]
+                addr = request.address
+                lower = max(self.now, request.arrival)
+                act_at = channel.earliest_activate(
+                    lower, addr.rank, addr.bank
+                )
+                if act_at > until:
+                    self._idle_hint[ch] = act_at
+                    break
+                self._issue(Command(
+                    CommandType.ACTIVATE, act_at, ch, addr.rank, addr.bank,
+                    addr.row, request.req_id, request.domain,
+                ))
+                col_at = channel.earliest_column(
+                    act_at + self.params.tRCD, addr.rank, addr.bank,
+                    request.is_read,
+                )
+                cmd_type = (
+                    CommandType.COL_READ_AP if request.is_read
+                    else CommandType.COL_WRITE_AP
+                )
+                data_start = self._issue(Command(
+                    cmd_type, col_at, ch, addr.rank, addr.bank,
+                    addr.row, request.req_id, request.domain,
+                ))
+                assert data_start is not None
+                queue.pop(0)
+                request.issue = act_at
+                request.data_start = data_start
+                request.completion = data_start + self.params.tBURST
+                self.stats.record_service(request)
+                self._trace(request.domain, act_at,
+                            "R" if request.is_read else "W")
+                if request.is_read:
+                    self._schedule_release(request, request.completion)
+            channel.prune(self.now)

@@ -1,0 +1,324 @@
+"""Temporal Partitioning (Wang et al., HPCA 2014) — the prior secure scheme.
+
+The memory controller is time-sliced: during a *turn* only one security
+domain may start memory transactions; near the end of each turn new issue
+is blocked for the *dead time* so in-flight work cannot contend with the
+next domain.  Turn order and lengths are fixed (they never adapt to
+demand), which is what makes TP non-interfering and also what makes it
+slow: idle turns are wasted and every queued request waits for its turn.
+
+Two variants from the paper:
+
+* **bank-partitioned TP** — each domain has private banks, so the next
+  turn only shares the channel buses; the dead time is small
+  (``write_to_read`` = 15 cycles ~ the paper's "12 ns").
+* **no-partitioning TP** — domains share banks, so the dead time must
+  cover the full worst-case bank turnaround (43 cycles ~ "65 ns" with
+  command overheads).
+
+Transactions are closed-page (ACT + column-with-auto-precharge), issued
+FCFS per bank with bank-level parallelism inside the turn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dram.commands import Command, CommandType, Request
+from ..dram.system import DramSystem
+from ..dram.timing import TimingParams
+from .base import MemoryController
+
+
+def default_dead_time(params: TimingParams, bank_partitioned: bool) -> int:
+    """Minimal dead time for *exact* non-interference, derived from the
+    timing parameters.
+
+    This controller only starts a transaction when its whole command
+    pair fits before the issue deadline, so the last column is at most
+    ``deadline - 1`` and the last activate at most
+    ``deadline - 1 - tRCD``.  The dead time must then absorb every
+    rank/bank constraint the old turn can impose on the new one:
+
+    * tFAW — the binding one for bank partitioning:
+      ``dead >= tFAW - tRCD - 1`` (12 cycles for Table 1, matching the
+      12 ns Wang et al. quote for their bank-partitioned TP);
+    * write-to-read column turnaround: ``wr2rd - 2*tRCD - 1`` (negative
+      here);
+    * shared-bank write turnaround (no partitioning only):
+      ``tCWD + tBURST + tWR + tRP - 1`` = 31, and
+      ``tRC - tRCD - 1`` = 27.
+    """
+    p = params
+    dead = max(
+        p.tFAW - p.tRCD - 1,
+        p.write_to_read - 2 * p.tRCD - 1,
+        p.tBURST + p.tRTRS,  # data-bus drain floor
+    )
+    if not bank_partitioned:
+        dead = max(
+            dead,
+            p.tCWD + p.tBURST + p.tWR + p.tRP - 1,
+            p.tRC - p.tRCD - 1,
+        )
+    return dead
+
+
+#: The best-performing turn lengths from the paper's Figure 5 sweep
+#: (the shortest feasible turns it evaluates).
+DEFAULT_TURN_BP = 60
+DEFAULT_TURN_NP = 172
+
+
+def default_turn_length(bank_partitioned: bool) -> int:
+    """The paper's best turn length for each TP variant."""
+    return DEFAULT_TURN_BP if bank_partitioned else DEFAULT_TURN_NP
+
+
+def min_turn_length(params: TimingParams, bank_partitioned: bool) -> int:
+    """Smallest useful turn: room for one transaction plus dead time."""
+    one_txn = params.tRCD + max(params.tCAS, params.tCWD) + params.tBURST
+    return one_txn + default_dead_time(params, bank_partitioned) + 1
+
+
+class TemporalPartitioningController(MemoryController):
+    """Fixed round-robin turns with a dead-time issue blackout."""
+
+    #: How deep to scan the domain's queue for issuable transactions.
+    SCAN_DEPTH = 16
+
+    def __init__(
+        self,
+        dram: DramSystem,
+        num_domains: int,
+        turn_length: int,
+        dead_time: Optional[int] = None,
+        bank_partitioned: bool = True,
+        log_commands: bool = False,
+    ) -> None:
+        super().__init__(dram, num_domains, log_commands)
+        if dead_time is None:
+            dead_time = default_dead_time(dram.params, bank_partitioned)
+        if turn_length <= dead_time:
+            raise ValueError(
+                f"turn length {turn_length} must exceed dead time "
+                f"{dead_time}"
+            )
+        self.turn_length = turn_length
+        self.dead_time = dead_time
+        self.bank_partitioned = bank_partitioned
+        #: With private banks, rows may stay open across the owner's own
+        #: turns; shared banks must close every row (auto-precharge) so
+        #: no bank state crosses a turn boundary.
+        self.open_page = bank_partitioned
+        self._queues: Dict[int, List[Request]] = {
+            d: [] for d in range(num_domains)
+        }
+        self._idle_hint = 0
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        self._queues[request.domain].append(request)
+        self._idle_hint = 0
+
+    def pending(self, domain: Optional[int] = None) -> int:
+        if domain is not None:
+            return len(self._queues[domain])
+        return sum(len(q) for q in self._queues.values())
+
+    def turn_of(self, cycle: int) -> Tuple[int, int, int]:
+        """(domain, turn start, issue deadline) for the turn at ``cycle``."""
+        index = cycle // self.turn_length
+        start = index * self.turn_length
+        domain = index % self.num_domains
+        return domain, start, start + self.turn_length - self.dead_time
+
+    def next_turn_start(self, domain: int, after: int) -> int:
+        """First cycle >= ``after`` at which ``domain`` owns a turn."""
+        index = after // self.turn_length
+        for probe in range(index, index + self.num_domains + 1):
+            if probe % self.num_domains == domain:
+                start = probe * self.turn_length
+                if start + self.turn_length - self.dead_time > after:
+                    return max(start, after)
+        raise AssertionError("unreachable: round-robin always recurs")
+
+    def next_event(self) -> Optional[int]:
+        upcoming: List[int] = []
+        for domain, queue in self._queues.items():
+            if queue:
+                t = self.next_turn_start(domain, self.now)
+                upcoming.append(max(t, self.now + 1, self._idle_hint))
+        if self._release_heap:
+            upcoming.append(max(self.now + 1, self._release_heap[0][0]))
+        return min(upcoming) if upcoming else None
+
+    # ------------------------------------------------------------------
+
+    def _work(self, until: int) -> None:
+        cursor = self.now
+        while cursor <= until:
+            domain, start, deadline = self.turn_of(cursor)
+            self._serve_turn(domain, max(cursor, start), deadline, until)
+            cursor = start + self.turn_length
+        for channel in self.dram.channels:
+            channel.prune(self.now)
+
+    def _serve_turn(
+        self, domain: int, cursor: int, deadline: int, until: int
+    ) -> None:
+        """Issue as much of ``domain``'s work as fits the issue window.
+
+        Within its own turn a domain schedules freely — no security
+        constraint applies to self-interference — so this is a normal
+        FR-FCFS engine: row hits first, then oldest.  Every command must
+        land strictly before the deadline so no shared-resource state
+        (command bus, data bus, tFAW/turnaround windows) can spill into
+        the next domain's turn.
+
+        With bank partitioning the domain's banks are private, so rows
+        may stay open across its own turns (open-page policy, as in Wang
+        et al.'s per-turn scheduler).  Without partitioning banks are
+        shared: every access auto-precharges, leaving no bank state for
+        the next domain to observe.
+        """
+        queue = self._queues[domain]
+        while queue:
+            best = self._best_turn_command(
+                domain, cursor, deadline, until
+            )
+            if best is None:
+                return
+            commands, request = best
+            data_start = None
+            for command in commands:
+                started = self._issue(command)
+                if command.type.is_column:
+                    data_start = started
+            if request is not None:
+                assert data_start is not None
+                request.issue = commands[0].cycle
+                request.data_start = data_start
+                request.completion = data_start + self.params.tBURST
+                self.stats.record_service(request)
+                self._trace(request.domain, commands[0].cycle,
+                            "R" if request.is_read else "W")
+                queue.remove(request)
+                if request.is_read:
+                    self._schedule_release(request, request.completion)
+
+    def _best_turn_command(
+        self, domain: int, cursor: int, deadline: int, until: int
+    ) -> Optional[Tuple[List[Command], Optional[Request]]]:
+        """FR-FCFS candidate selection within the domain's turn."""
+        queue = self._queues[domain]
+        per_bank: Dict[Tuple[int, int, int], List[Request]] = {}
+        scanned = 0
+        for request in queue:
+            if request.arrival >= deadline or request.arrival > until:
+                continue
+            scanned += 1
+            if scanned > self.SCAN_DEPTH:
+                break
+            key = request.address.bank_key()
+            per_bank.setdefault(key, []).append(request)
+        best: Optional[Tuple[Tuple[int, int, int], List[Command],
+                             Optional[Request]]] = None
+        for (ch, rank, bank_id), requests in per_bank.items():
+            candidate = self._bank_candidate(
+                ch, rank, bank_id, requests, cursor, deadline, until
+            )
+            if candidate is None:
+                continue
+            key, commands, request = candidate
+            if best is None or key < best[0]:
+                best = candidate
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _bank_candidate(
+        self, ch: int, rank: int, bank_id: int, requests: List[Request],
+        cursor: int, deadline: int, until: int,
+    ) -> Optional[Tuple[Tuple[int, int, int], List[Command],
+                        Optional[Request]]]:
+        """Next command(s) for one bank's queued requests, deadline-gated.
+
+        Open-page mode steps command by command (PRE / ACT / row-hit
+        column); closed-page mode returns the whole ACT + auto-precharge
+        column pair atomically, so a row can never be left open into
+        another domain's turn.
+        """
+        channel = self.dram.channels[ch]
+        bank = channel.bank(rank, bank_id)
+        request = requests[0]
+        if self.open_page and bank.is_open:
+            for candidate in requests:
+                if bank.is_row_hit(candidate.address.row):
+                    request = candidate
+                    break
+        addr = request.address
+        lower = max(cursor, request.arrival)
+        if bank.is_open:
+            if bank.is_row_hit(addr.row):
+                col_at = channel.earliest_column(
+                    lower, rank, bank_id, request.is_read
+                )
+                if col_at >= deadline or col_at > until:
+                    return None
+                if self.open_page:
+                    cmd_type = (
+                        CommandType.COL_READ if request.is_read
+                        else CommandType.COL_WRITE
+                    )
+                else:
+                    cmd_type = (
+                        CommandType.COL_READ_AP if request.is_read
+                        else CommandType.COL_WRITE_AP
+                    )
+                return (
+                    (0, col_at, request.arrival),
+                    [Command(cmd_type, col_at, ch, rank, bank_id,
+                             addr.row, request.req_id, request.domain)],
+                    request,
+                )
+            # Row conflict (open-page only): close the row first.
+            pre_at = channel.earliest_precharge(lower, rank, bank_id)
+            if pre_at >= deadline or pre_at > until:
+                return None
+            return (
+                (1, pre_at, request.arrival),
+                [Command(CommandType.PRECHARGE, pre_at, ch, rank,
+                         bank_id, addr.row, request.req_id,
+                         request.domain)],
+                None,
+            )
+        act_at = channel.earliest_activate(lower, rank, bank_id)
+        if act_at >= deadline or act_at > until:
+            return None
+        # The follow-up column must also fit this turn, else the ACT
+        # would carry tFAW/tRRD state into the next turn for nothing.
+        col_at = channel.earliest_column_after_planned_act(
+            act_at, rank, request.is_read
+        )
+        if col_at >= deadline:
+            return None
+        act_cmd = Command(
+            CommandType.ACTIVATE, act_at, ch, rank, bank_id,
+            addr.row, request.req_id, request.domain,
+        )
+        if self.open_page:
+            # Issue the ACT alone; its column follows as a row hit.
+            return ((1, act_at, request.arrival), [act_cmd], None)
+        # Closed page: the pair issues atomically, so no bank is ever
+        # left open across a turn boundary.
+        cmd_type = (
+            CommandType.COL_READ_AP if request.is_read
+            else CommandType.COL_WRITE_AP
+        )
+        col_cmd = Command(
+            cmd_type, col_at, ch, rank, bank_id, addr.row,
+            request.req_id, request.domain,
+        )
+        return ((1, act_at, request.arrival), [act_cmd, col_cmd], request)

@@ -1,0 +1,71 @@
+"""Fixed Service memory controllers — the paper's primary contribution.
+
+Contents:
+
+* :mod:`~repro.core.pipeline_solver` — offline constraint solving for the
+  minimal conflict-free slot gap (Sections 3-4 equations).
+* :mod:`~repro.core.schedule` — concrete slot timetables (Figures 1-2),
+  including triple alternation and reordered bank partitioning, plus an
+  independent validator.
+* :mod:`~repro.core.shaping` — per-domain shaping: hazard tracking and
+  dummy generation.
+* :mod:`~repro.core.fs_controller` — the FS controller.
+* :mod:`~repro.core.fs_reordered` — reordered bank partitioning.
+* :mod:`~repro.core.energy_opts` — the Section 5.2 energy optimizations.
+"""
+
+from .pipeline_solver import (
+    ConflictReport,
+    GroupedPipeline,
+    GroupedPipelineSolver,
+    PeriodicMode,
+    PipelineSolver,
+    SharingLevel,
+    paper_solutions,
+    slot_timing,
+)
+from .sla import bandwidth_share, build_sla_schedule, weighted_slot_order
+from .invariants import (
+    InvariantViolation,
+    assert_non_interference,
+    check_constant_service,
+    check_schedule_conformance,
+)
+from .schedule import (
+    CommandTimes,
+    FixedServiceSchedule,
+    ReorderedBpGeometry,
+    SlotSpec,
+    build_fs_schedule,
+    build_reordered_bp_geometry,
+    build_triple_alternation_schedule,
+    schedule_commands,
+    validate_schedule,
+)
+from .shaping import DomainHazardTracker, DummyGenerator
+from .diagram import occupancy_summary, render_interval
+from .energy_opts import (
+    EnergyAdjustments,
+    FsEnergyOptions,
+    adjusted_energy,
+)
+from .fs_controller import FixedServiceController, PrefetchBuffer
+from .fs_reordered import ReorderedBpController
+
+__all__ = [
+    "ConflictReport", "GroupedPipeline", "GroupedPipelineSolver",
+    "PeriodicMode", "PipelineSolver", "SharingLevel",
+    "paper_solutions", "slot_timing",
+    "bandwidth_share", "build_sla_schedule", "weighted_slot_order",
+    "InvariantViolation", "assert_non_interference",
+    "check_constant_service", "check_schedule_conformance",
+    "CommandTimes", "FixedServiceSchedule", "ReorderedBpGeometry",
+    "SlotSpec", "build_fs_schedule", "build_reordered_bp_geometry",
+    "build_triple_alternation_schedule", "schedule_commands",
+    "validate_schedule",
+    "DomainHazardTracker", "DummyGenerator",
+    "occupancy_summary", "render_interval",
+    "EnergyAdjustments", "FsEnergyOptions", "adjusted_energy",
+    "FixedServiceController", "PrefetchBuffer",
+    "ReorderedBpController",
+]

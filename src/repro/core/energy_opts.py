@@ -1,0 +1,88 @@
+"""Energy optimizations for FS controllers (Section 5.2, Figure 9).
+
+The paper's three optimizations all share one property: they change what
+the DRAM devices physically do *without changing a single command time* —
+"DRAM state is updated as if the command had issued".  We model them
+accordingly:
+
+1. **Suppressed dummies** — behavioural: the controller simply does not
+   put the dummy's commands on the bus (safe: FS command times never
+   depend on resource availability, and removing commands can only relax
+   constraints).  The energy saving falls out of the activity counters.
+2. **Row-buffer boost** — accounting: when consecutive accesses of a
+   domain hit the same row of the same bank, the auto-precharge +
+   re-activate pair is charged as saved.
+3. **Power-down** — accounting: a rank whose owning domain has no pending
+   work for a whole interval spends that interval in precharge power-down
+   (minus the entry/exit overhead), converting IDD2N standby cycles to
+   IDD2P.
+
+:func:`adjusted_energy` applies the accounting components on top of a
+measured :class:`~repro.dram.power.EnergyBreakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..dram.power import DramPowerParams, EnergyBreakdown, PowerModel
+from ..dram.timing import TimingParams
+
+
+@dataclass
+class FsEnergyOptions:
+    """Which of the Section 5.2 optimizations are enabled."""
+
+    suppress_dummies: bool = False
+    boost_row_hits: bool = False
+    power_down_idle: bool = False
+
+    @classmethod
+    def none(cls) -> "FsEnergyOptions":
+        return cls()
+
+    @classmethod
+    def all(cls) -> "FsEnergyOptions":
+        return cls(True, True, True)
+
+
+@dataclass
+class EnergyAdjustments:
+    """Accounting-only savings accumulated by an FS controller."""
+
+    #: Activate/precharge pairs avoided by the row-buffer boost.
+    rowhit_saved_activates: int = 0
+    #: Precharge-standby cycles converted to power-down residency.
+    powerdown_cycles: int = 0
+
+    def merge(self, other: "EnergyAdjustments") -> None:
+        self.rowhit_saved_activates += other.rowhit_saved_activates
+        self.powerdown_cycles += other.powerdown_cycles
+
+
+def adjusted_energy(
+    measured: EnergyBreakdown,
+    adjustments: EnergyAdjustments,
+    model: PowerModel,
+) -> EnergyBreakdown:
+    """Apply accounting-only savings to a measured energy breakdown."""
+    t = model.timing
+    p = model.power
+    scale = p.vdd * p.devices_per_rank * model.cycle_ns
+
+    act_charge = (
+        p.idd0 * t.tRC - p.idd3n * t.tRAS - p.idd2n * (t.tRC - t.tRAS)
+    )
+    activate_saving = adjustments.rowhit_saved_activates * act_charge * scale
+    background_saving = (
+        adjustments.powerdown_cycles * (p.idd2n - p.idd2p) * scale
+    )
+    return EnergyBreakdown(
+        activate_pj=max(0.0, measured.activate_pj - activate_saving),
+        read_pj=measured.read_pj,
+        write_pj=measured.write_pj,
+        refresh_pj=measured.refresh_pj,
+        background_pj=max(0.0, measured.background_pj - background_saving),
+        io_pj=measured.io_pj,
+    )

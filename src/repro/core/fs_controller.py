@@ -1,0 +1,544 @@
+"""The Fixed Service memory controller (Sections 3-5).
+
+:class:`FixedServiceController` interprets a precomputed
+:class:`~repro.core.schedule.FixedServiceSchedule`: at every slot it
+dispatches one transaction of the slot's domain — the queue head when
+legal, another queued transaction when the head would violate one of the
+domain's *own* DRAM hazards, a prefetch when the queue is empty, a dummy
+otherwise, and a bubble when even a dummy is illegal.  Command times are
+pure functions of the slot anchor, never of resource availability, so a
+domain's service is bit-for-bit independent of its co-runners.
+
+The same class covers the paper's FS_RP (rank partitioning), the basic
+bank-partitioned and no-partitioning pipelines, and the triple-alternation
+optimization (whose bank restrictions ride in on the schedule's
+:attr:`~repro.core.schedule.SlotSpec.bank_mod`).  Reordered bank
+partitioning lives in :mod:`repro.core.fs_reordered`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..controllers.base import MemoryController
+from ..dram.commands import (
+    Address,
+    Command,
+    CommandType,
+    OpType,
+    Request,
+    RequestKind,
+)
+from ..dram.refresh import RefreshScheduler
+from ..dram.system import DramSystem
+from ..mapping.partition import PartitionPolicy
+from .energy_opts import EnergyAdjustments, FsEnergyOptions
+from .pipeline_solver import SharingLevel
+from .schedule import CommandTimes, FixedServiceSchedule, SlotSpec
+from .shaping import DomainHazardTracker, DummyGenerator
+
+
+class PrefetchBuffer:
+    """A small per-domain buffer holding prefetched lines (FIFO evict)."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lines: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.fills = 0
+
+    def fill(self, line: int) -> None:
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            return
+        self._lines[line] = True
+        self.fills += 1
+        while len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+
+    def hit(self, line: Optional[int]) -> bool:
+        if line is None or line not in self._lines:
+            return False
+        del self._lines[line]
+        self.hits += 1
+        return True
+
+    @property
+    def useful_fraction(self) -> float:
+        if self.fills == 0:
+            return 0.0
+        return self.hits / self.fills
+
+
+class FixedServiceController(MemoryController):
+    """FS scheduling over a validated slot timetable."""
+
+    #: How deep to scan a domain's queue for a legal transaction when the
+    #: head is blocked by one of the domain's own hazards.
+    SCAN_DEPTH = 8
+    #: Latency (cycles) of returning a read that hits the prefetch buffer.
+    PREFETCH_HIT_LATENCY = 5
+    #: Per-domain transaction-queue capacity (Section 5.1: "the FS
+    #: transaction queue can be relatively small because it is largely
+    #: in-order"); a full queue back-pressures the owning core only.
+    QUEUE_CAPACITY = 64
+
+    def __init__(
+        self,
+        dram: DramSystem,
+        schedule: FixedServiceSchedule,
+        partition: PartitionPolicy,
+        channel: int = 0,
+        energy_options: FsEnergyOptions = None,
+        prefetchers: Optional[Dict[int, object]] = None,
+        refresh: "RefreshScheduler" = None,
+        log_commands: bool = False,
+    ) -> None:
+        super().__init__(dram, schedule.num_domains, log_commands)
+        if channel >= dram.num_channels:
+            raise ValueError("channel out of range")
+        self.schedule = schedule
+        self.partition = partition
+        self.channel_id = channel
+        self.energy_options = energy_options or FsEnergyOptions.none()
+        self.adjustments = EnergyAdjustments()
+        self.prefetchers = prefetchers or {}
+        self.prefetch_buffers: Dict[int, PrefetchBuffer] = {
+            d: PrefetchBuffer() for d in range(self.num_domains)
+        }
+        self._queues: Dict[int, List[Request]] = {
+            d: [] for d in range(self.num_domains)
+        }
+        self._hazards: Dict[int, DomainHazardTracker] = {
+            d: DomainHazardTracker(dram.params)
+            for d in range(self.num_domains)
+        }
+        self._dummies: Dict[int, DummyGenerator] = {
+            d: DummyGenerator(d, partition, channel)
+            for d in range(self.num_domains)
+        }
+        #: Last (bank-key -> row) serviced per domain, for the row-buffer
+        #: energy boost.
+        self._last_row: Dict[int, Dict[Tuple[int, int], int]] = {
+            d: {} for d in range(self.num_domains)
+        }
+        #: Staged commands, applied to the channel in time order.
+        self._staged: List[Tuple[int, int, Command]] = []
+        self._stage_seq = itertools.count()
+        self._next_slot = 0
+        # Decisions must lead the earliest possible command of a slot.
+        self._decision_lead = self._earliest_command_offset()
+        self.refresh = refresh
+        #: Domain -> ranks it owns on this channel (refresh suppression).
+        self._domain_ranks: Dict[int, Tuple[int, ...]] = {
+            d: tuple(sorted({
+                rk for ch, rk, _ in partition.resources(d)
+                if ch == channel
+            }))
+            for d in range(self.num_domains)
+        }
+        if self.refresh is not None and self.refresh.enabled:
+            if schedule.sharing is not SharingLevel.RANK:
+                raise ValueError(
+                    "deterministic refresh is only supported with rank "
+                    "partitioning (a refresh blackout must map to whole "
+                    "domains)"
+                )
+            self._refresh_residue = self._free_command_residue()
+            self._next_ref_windows = [
+                self.refresh.next_refresh(rk, 0)
+                for rk in range(len(dram.channels[channel].ranks))
+            ]
+        self.stat_refreshes = 0
+
+    # ------------------------------------------------------------------
+
+    def _earliest_command_offset(self) -> int:
+        read = self.schedule.command_times(0, True)
+        write = self.schedule.command_times(0, False)
+        return min(read.first, write.first)
+
+    def _free_command_residues(self) -> List[int]:
+        """Cycle residues (mod the slot gap) no FS command ever uses.
+
+        Section 5.2 observes that the FS pipeline leaves fixed command-bus
+        cycles idle ("the command bus is free to transmit the power-down
+        signal in that cycle"); we use them to issue REFRESH and
+        power-down/up commands without any possibility of a bus conflict.
+        """
+        l = self.schedule.slot_gap
+        used = set()
+        for is_read in (True, False):
+            rel = self.schedule.command_times(0, is_read)
+            used.add(rel.act % l)
+            used.add(rel.col % l)
+        return [r for r in range(l) if r not in used]
+
+    def _free_command_residue(self) -> int:
+        residues = self._free_command_residues()
+        if not residues:
+            raise RuntimeError(
+                "no free command-bus residue: refresh cannot be "
+                "scheduled deterministically for this pipeline"
+            )
+        return residues[0]
+
+    def _refresh_blackout(self, rank: int, anchor: int) -> bool:
+        """Is a slot anchored at ``anchor`` inside ``rank``'s refresh
+        blackout?  Purely clock-driven, hence leakage-free.
+
+        A slot is suppressed when a refresh window starts inside
+        ``(anchor - guard_post, anchor + guard_pre]``: ``guard_pre``
+        covers the slot's own tail (worst-case activate-to-precharge
+        recovery plus the REF residue shift) and ``guard_post`` covers
+        tRFC plus the slot's command lead.
+        """
+        p = self.params
+        l = self.schedule.slot_gap
+        guard_pre = p.write_turnaround_same_bank + l
+        guard_post = p.tRFC + (-self._decision_lead) + l
+        window = self.refresh.next_refresh(
+            rank, max(0, anchor - guard_post + 1)
+        )
+        return window is not None and window.start <= anchor + guard_pre
+
+    def _pump_refreshes(self, until: int) -> None:
+        """Stage REF commands whose windows open before ``until``."""
+        for rank in range(len(self._next_ref_windows)):
+            while True:
+                window = self._next_ref_windows[rank]
+                if window.start > until:
+                    break
+                # Land on the schedule's free command-bus residue.
+                l = self.schedule.slot_gap
+                cycle = window.start
+                shift = (
+                    self._refresh_residue
+                    - (cycle - self.schedule.lead)
+                ) % l
+                cycle += shift
+                self._stage(Command(
+                    CommandType.REFRESH, cycle, self.channel_id, rank
+                ))
+                self.stat_refreshes += 1
+                self._next_ref_windows[rank] = self.refresh.next_refresh(
+                    rank, window.start + 1
+                )
+
+    def _slot_geometry(self, g: int) -> Tuple[int, SlotSpec, int]:
+        interval, idx = divmod(g, self.schedule.slots_per_interval)
+        spec = self.schedule.slots[idx]
+        return interval, spec, self.schedule.anchor(interval, spec)
+
+    def _decide_cycle(self, g: int) -> int:
+        _, _, anchor = self._slot_geometry(g)
+        return anchor + self._decision_lead
+
+    # ------------------------------------------------------------------
+    # MemoryController interface.
+    # ------------------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        if request.address.channel != self.channel_id:
+            raise ValueError("request routed to the wrong FS channel")
+        if request.is_read:
+            # Store-to-load bypass within the domain's own transaction
+            # queue, "just as in a baseline transaction queue" (Section
+            # 5.1).  Only the domain's own writes are visible — no
+            # cross-domain state is consulted.
+            for queued in self._queues[request.domain]:
+                if not queued.is_read and queued.line == request.line \
+                        and request.line is not None:
+                    self._schedule_release(request, request.arrival + 1)
+                    return
+        if request.is_read and self.prefetch_buffers[
+            request.domain
+        ].hit(request.line):
+            # The prefetcher must keep seeing the demand stream even
+            # when its own prefetches absorb it, or streams die after
+            # one queue depth.
+            prefetcher = self.prefetchers.get(request.domain)
+            if prefetcher is not None and request.line is not None:
+                prefetcher.observe(request.line)
+            self._schedule_release(
+                request, request.arrival + self.PREFETCH_HIT_LATENCY
+            )
+            return
+        self._queues[request.domain].append(request)
+
+    def pending(self, domain: Optional[int] = None) -> int:
+        if domain is not None:
+            return len(self._queues[domain])
+        return sum(len(q) for q in self._queues.values())
+
+    def can_accept(self, domain: int) -> bool:
+        """Back-pressure is a pure function of the domain's own queue."""
+        return len(self._queues[domain]) < self.QUEUE_CAPACITY
+
+    def next_event(self) -> Optional[int]:
+        """FS always has a next slot; report the sooner of the next slot
+        decision, the next staged command, and the next release."""
+        candidates = [self._decide_cycle(self._next_slot)]
+        if self._staged:
+            candidates.append(self._staged[0][0])
+        if self._release_heap:
+            candidates.append(self._release_heap[0][0])
+        return max(self.now + 1, min(candidates))
+
+    def busy(self) -> bool:
+        """Outstanding *demand* work; dummy slots alone never count (the
+        FS pipeline ticks forever, but there is nothing left to wait for)."""
+        return bool(
+            self._release_heap or any(self._queues.values())
+        )
+
+    def _work(self, until: int) -> None:
+        if self.refresh is not None and self.refresh.enabled:
+            self._pump_refreshes(until + self.schedule.interval_length)
+        while True:
+            decide_at = self._decide_cycle(self._next_slot)
+            staged_at = self._staged[0][0] if self._staged else None
+            if decide_at <= until and (
+                staged_at is None or decide_at <= staged_at
+            ):
+                self._decide_slot(self._next_slot)
+                self._next_slot += 1
+                continue
+            if staged_at is not None and staged_at <= until:
+                _, _, command = heapq.heappop(self._staged)
+                self._issue(command)
+                continue
+            break
+        self.dram.channels[self.channel_id].prune(self.now)
+
+    # ------------------------------------------------------------------
+    # Slot decisions.
+    # ------------------------------------------------------------------
+
+    def _decide_slot(self, g: int) -> None:
+        interval, spec, anchor = self._slot_geometry(g)
+        domain = spec.domain
+        decide_at = anchor + self._decision_lead
+        if self.refresh is not None and self.refresh.enabled:
+            if any(
+                self._refresh_blackout(rk, anchor)
+                for rk in self._domain_ranks[domain]
+            ):
+                self.stats.bubbles += 1
+                self._trace(domain, anchor, "-")
+                return
+        request = self._select_demand(domain, spec, anchor, decide_at)
+        if request is not None:
+            self._queues[domain].remove(request)
+            self._dispatch(request, spec, anchor)
+            return
+        if any(r.arrival <= decide_at for r in self._queues[domain]):
+            self.stats.blocked_slots += 1
+        prefetch = self._select_prefetch(domain, spec, anchor, decide_at)
+        if prefetch is not None:
+            self._dispatch(prefetch, spec, anchor)
+            return
+        if self.energy_options.power_down_idle and \
+                self._try_power_down(domain, spec, anchor):
+            return
+        dummy = self._select_dummy(domain, spec, anchor, decide_at)
+        if dummy is not None:
+            self._dispatch(dummy, spec, anchor)
+            return
+        self.stats.bubbles += 1
+        self._trace(domain, anchor, "-")
+
+    def _try_power_down(self, domain: int, spec: SlotSpec,
+                        anchor: int) -> bool:
+        """Energy optimization 3 (Section 5.2): instead of a dummy,
+        power the rank down for the rest of the interval and wake it up
+        before the domain's next slot.
+
+        The decision is a pure function of the domain's own queue (it is
+        empty) and the clock, and the PDN/PUP commands land on
+        command-bus residues the FS pipeline provably never uses —
+        nothing observable changes for any other domain.
+        """
+        p = self.params
+        l = self.schedule.slot_gap
+        ranks = self._domain_ranks[domain]
+        if len(ranks) != 1 or \
+                len(self.schedule.slots_of_domain(domain)) != 1:
+            return False  # only the canonical one-rank/one-slot layout
+        residues = self._free_command_residues()
+        if len(residues) < 3:
+            return False
+        rank = ranks[0]
+        next_anchor = anchor + self.schedule.interval_length
+        if self.refresh is not None and self.refresh.enabled:
+            window = self.refresh.next_refresh(
+                rank, max(0, anchor - p.tRFC - 64)
+            )
+            if window is not None and window.start < next_anchor + 64:
+                return False  # never power down across a refresh window
+        # Dedicated residues: residues[0] belongs to REF; PDN and PUP
+        # each get their own so commands from different domains (whose
+        # anchors all share the same residue) can never collide.
+        pdn_residue, pup_residue = residues[1], residues[2]
+
+        def on_residue(cycle: int, residue: int) -> bool:
+            return (cycle - self.schedule.lead) % l == residue
+
+        # Enter after this (empty) slot's span; exit with tXP headroom
+        # before the next slot's earliest command.
+        pdn = anchor + p.tBURST
+        while not on_residue(pdn, pdn_residue):
+            pdn += 1
+        pup = next_anchor + self._decision_lead - p.tXP - 1
+        while not on_residue(pup, pup_residue):
+            pup -= 1
+        if pup - pdn < p.tCKE + p.tXP:
+            return False
+        self._stage(Command(
+            CommandType.POWER_DOWN, pdn, self.channel_id, rank
+        ))
+        self._stage(Command(
+            CommandType.POWER_UP, pup, self.channel_id, rank
+        ))
+        self._trace(domain, anchor, "p")
+        return True
+
+    def _select_demand(
+        self, domain: int, spec: SlotSpec, anchor: int, decide_at: int
+    ) -> Optional[Request]:
+        tracker = self._hazards[domain]
+        scanned = 0
+        for request in self._queues[domain]:
+            if request.arrival > decide_at:
+                continue
+            if spec.bank_mod is not None and (
+                request.address.bank % 3 != spec.bank_mod
+            ):
+                # The class filter is a cheap tag compare ("scan a few
+                # bits in one queue", Section 5.1); it does not consume
+                # the hazard-check scan budget.
+                continue
+            scanned += 1
+            if scanned > self.SCAN_DEPTH:
+                break
+            times = self.schedule.command_times(anchor, request.is_read)
+            if tracker.legal(times, request.address, request.is_read):
+                return request
+        return None
+
+    def _select_prefetch(
+        self, domain: int, spec: SlotSpec, anchor: int, decide_at: int
+    ) -> Optional[Request]:
+        prefetcher = self.prefetchers.get(domain)
+        if prefetcher is None:
+            return None
+        tracker = self._hazards[domain]
+        times = self.schedule.command_times(anchor, True)
+        for line in prefetcher.claim_candidates():
+            address = self.partition.decode(domain, line)
+            if address.channel != self.channel_id:
+                continue
+            if spec.bank_mod is not None and address.bank % 3 != (
+                spec.bank_mod
+            ):
+                continue
+            if not tracker.legal(times, address, True):
+                continue
+            return Request(
+                op=OpType.READ,
+                address=address,
+                domain=domain,
+                kind=RequestKind.PREFETCH,
+                arrival=decide_at,
+                line=line,
+            )
+        return None
+
+    def _select_dummy(
+        self, domain: int, spec: SlotSpec, anchor: int, decide_at: int
+    ) -> Optional[Request]:
+        tracker = self._hazards[domain]
+        times = self.schedule.command_times(anchor, True)
+        for address in self._dummies[domain].candidates(spec.bank_mod):
+            if tracker.legal(times, address, True):
+                return Request(
+                    op=OpType.READ,
+                    address=address,
+                    domain=domain,
+                    kind=RequestKind.DUMMY,
+                    arrival=decide_at,
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self, request: Request, spec: SlotSpec, anchor: int
+    ) -> None:
+        domain = request.domain
+        addr = request.address
+        times = self.schedule.command_times(anchor, request.is_read)
+        self._hazards[domain].commit(times, addr, request.is_read)
+
+        bank_key = (addr.rank, addr.bank)
+        row_hit = self._last_row[domain].get(bank_key) == addr.row
+        self._last_row[domain][bank_key] = addr.row
+        request.row_hit = row_hit
+        if row_hit and self.energy_options.boost_row_hits:
+            self.adjustments.rowhit_saved_activates += 1
+            self.stats.row_hit_boosts += 1
+
+        suppress = (
+            request.kind is RequestKind.DUMMY
+            and self.energy_options.suppress_dummies
+        )
+        if suppress:
+            request.suppressed = True
+            self.stats.suppressed_dummies += 1
+        else:
+            col_type = (
+                CommandType.COL_READ_AP if request.is_read
+                else CommandType.COL_WRITE_AP
+            )
+            self._stage(Command(
+                CommandType.ACTIVATE, times.act, self.channel_id,
+                addr.rank, addr.bank, addr.row, request.req_id, domain,
+            ))
+            self._stage(Command(
+                col_type, times.col, self.channel_id, addr.rank,
+                addr.bank, addr.row, request.req_id, domain,
+            ))
+
+        request.issue = times.first
+        request.data_start = times.data
+        request.completion = times.data + self.params.tBURST
+        self.stats.record_service(request)
+        kind_code = {
+            RequestKind.DEMAND: "R" if request.is_read else "W",
+            RequestKind.PREFETCH: "P",
+            RequestKind.DUMMY: "D",
+        }[request.kind]
+        self._trace(domain, anchor, kind_code)
+
+        if request.kind is RequestKind.PREFETCH:
+            self.prefetch_buffers[domain].fill(request.line)
+        if request.kind is RequestKind.DEMAND:
+            prefetcher = self.prefetchers.get(domain)
+            if prefetcher is not None and request.is_read and (
+                request.line is not None
+            ):
+                prefetcher.observe(request.line)
+            if request.is_read:
+                self._schedule_release(request, request.completion)
+
+    def _stage(self, command: Command) -> None:
+        heapq.heappush(
+            self._staged, (command.cycle, next(self._stage_seq), command)
+        )

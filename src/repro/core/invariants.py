@@ -1,0 +1,126 @@
+"""Runtime security invariants for FS controllers (Section 5.1).
+
+The paper's security invariant: each transaction queue gets a fixed,
+schedule-determined level of service.  This module checks that claim on
+*simulation artifacts* rather than on the implementation's word:
+
+* :func:`check_schedule_conformance` — every service event of every
+  domain lands exactly on one of that domain's own slot anchors, and no
+  slot serves two transactions.
+* :func:`check_constant_service` — each domain's service count per
+  interval is exactly its slot share (demand + prefetch + dummy +
+  bubble always fills the timetable).
+* :func:`assert_non_interference` — convenience wrapper that re-runs a
+  victim under several co-runners and raises with a readable diff if
+  anything the victim can observe changed.
+
+These are used by the test-suite and can be applied to any controller
+run with ``service_trace`` recording (always on).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .schedule import FixedServiceSchedule
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected breach of the FS service invariant."""
+
+    domain: int
+    cycle: int
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return f"domain {self.domain} @ {self.cycle}: {self.reason}"
+
+
+def check_schedule_conformance(
+    schedule: FixedServiceSchedule,
+    service_trace: Dict[int, List[Tuple[int, str]]],
+) -> List[InvariantViolation]:
+    """Every service event must sit on one of its domain's own anchors."""
+    violations: List[InvariantViolation] = []
+    allowed: Dict[int, set] = {
+        d: {
+            s.anchor_offset
+            for s in schedule.slots_of_domain(d)
+        }
+        for d in range(schedule.num_domains)
+    }
+    for domain, events in service_trace.items():
+        seen: Counter = Counter()
+        for cycle, kind in events:
+            offset = (cycle - schedule.lead) % schedule.interval_length
+            if offset not in allowed[domain]:
+                violations.append(InvariantViolation(
+                    domain, cycle,
+                    f"service at foreign offset {offset} "
+                    f"(kind {kind!r})",
+                ))
+            seen[cycle] += 1
+            if seen[cycle] > 1:
+                violations.append(InvariantViolation(
+                    domain, cycle, "slot served more than once"
+                ))
+    return violations
+
+
+def check_constant_service(
+    schedule: FixedServiceSchedule,
+    service_trace: Dict[int, List[Tuple[int, str]]],
+    tolerance_intervals: int = 2,
+) -> List[InvariantViolation]:
+    """Each domain's event count must equal elapsed intervals x its
+    slot share (the 'constant injection rate' shape property)."""
+    violations: List[InvariantViolation] = []
+    horizon = max(
+        (events[-1][0] for events in service_trace.values() if events),
+        default=0,
+    )
+    if horizon == 0:
+        return violations
+    intervals = (horizon - schedule.lead) // schedule.interval_length + 1
+    for domain, events in service_trace.items():
+        share = len(schedule.slots_of_domain(domain))
+        expected = intervals * share
+        if abs(len(events) - expected) > tolerance_intervals * share:
+            violations.append(InvariantViolation(
+                domain, horizon,
+                f"served {len(events)} slots, expected ~{expected}",
+            ))
+    return violations
+
+
+def assert_non_interference(
+    scheme: str,
+    victim,
+    co_runners: Optional[Sequence] = None,
+    config=None,
+) -> None:
+    """Raise AssertionError with a diff summary if the victim's view
+    changes under any co-runner (thin wrapper over
+    :func:`repro.analysis.leakage.interference_report`)."""
+    from ..analysis.leakage import interference_report
+
+    report = interference_report(scheme, victim, co_runners, config)
+    if report.identical:
+        return
+    lines = [f"{scheme} leaks information to domain 0:"]
+    lines.append(
+        f"  max profile divergence: "
+        f"{report.max_profile_divergence_cycles} cycles"
+    )
+    lines.append(
+        f"  max read-release divergence: "
+        f"{report.max_release_divergence_cycles} cycles"
+    )
+    for view in report.views:
+        lines.append(
+            f"  co-runner {view.co_runner}: ipc {view.ipc:.4f}"
+        )
+    raise AssertionError("\n".join(lines))

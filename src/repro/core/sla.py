@@ -1,0 +1,90 @@
+"""Service-level agreements: unequal slot assignments (Section 5.1).
+
+The paper's OS/hypervisor assigns each security domain a *fixed level of
+service*: the number of issue slots it owns in every Q-cycle interval,
+decided by the SLA and never by run-time demand (that would leak).  This
+module builds FS timetables for arbitrary slot assignments, spreading
+each domain's slots evenly across the interval with a smooth weighted
+round-robin so a two-slot domain is served twice as often — not twice in
+a row.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..dram.timing import TimingParams
+from .pipeline_solver import PeriodicMode, PipelineSolver, SharingLevel
+from .schedule import FixedServiceSchedule, SlotSpec
+
+
+def weighted_slot_order(assignment: Sequence[int]) -> List[int]:
+    """Smooth weighted round-robin order of domains.
+
+    Classic smooth-WRR: each step, every domain gains its weight in
+    credit; the richest domain is served and pays the total weight.
+    Deterministic, and spreads each domain's slots across the interval.
+
+    >>> weighted_slot_order([2, 1, 1])
+    [0, 1, 2, 0]
+    """
+    if not assignment:
+        raise ValueError("assignment must not be empty")
+    if any(w < 1 for w in assignment):
+        raise ValueError("every domain needs at least one slot")
+    total = sum(assignment)
+    credits = [0] * len(assignment)
+    order: List[int] = []
+    for _ in range(total):
+        for d, weight in enumerate(assignment):
+            credits[d] += weight
+        winner = max(range(len(assignment)), key=lambda d: (credits[d], -d))
+        credits[winner] -= total
+        order.append(winner)
+    return order
+
+
+def build_sla_schedule(
+    params: TimingParams,
+    sharing: SharingLevel,
+    slot_assignment: Sequence[int],
+    mode: Optional[PeriodicMode] = None,
+) -> FixedServiceSchedule:
+    """An FS timetable honouring a per-domain slot assignment.
+
+    ``slot_assignment[d]`` is the number of issue slots domain ``d`` owns
+    per interval; bandwidth shares follow directly.  The slot gap ``l``
+    is the same solver output as the equal-share schedule — the SLA only
+    changes who owns each slot, never the pipeline itself, so the
+    security argument is untouched.
+    """
+    solver = PipelineSolver(params)
+    if mode is None:
+        mode, slot_gap = solver.best(sharing)
+    else:
+        slot_gap = solver.solve(mode, sharing)
+    order = weighted_slot_order(slot_assignment)
+    slots = [
+        SlotSpec(index=i, domain=domain, anchor_offset=i * slot_gap)
+        for i, domain in enumerate(order)
+    ]
+    return FixedServiceSchedule(
+        params=params,
+        mode=mode,
+        slot_gap=slot_gap,
+        num_domains=len(slot_assignment),
+        slots=slots,
+        interval_length=slot_gap * len(order),
+        sharing=sharing,
+        name=f"fs_sla_{'-'.join(map(str, slot_assignment))}",
+    )
+
+
+def bandwidth_share(slot_assignment: Sequence[int], domain: int) -> float:
+    """Fraction of the pipeline's slots owned by ``domain``."""
+    total = sum(slot_assignment)
+    if total == 0:
+        raise ValueError("assignment must not be empty")
+    if not 0 <= domain < len(slot_assignment):
+        raise ValueError("domain out of range")
+    return slot_assignment[domain] / total

@@ -1,0 +1,6 @@
+"""Trace-driven out-of-order core models."""
+
+from .trace import Trace, TraceRecord
+from .core_model import Core, CoreParams
+
+__all__ = ["Trace", "TraceRecord", "Core", "CoreParams"]

@@ -1,0 +1,81 @@
+"""Post-LLC instruction/memory traces.
+
+A trace is a finite sequence of :class:`TraceRecord`: each record stands
+for ``gap`` non-memory instructions followed by one memory instruction
+(a cache-line read or write at a domain-local line address).  This is the
+USIMM trace format in spirit — the memory system only ever sees post-LLC
+misses, so the non-memory work is captured as a count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from ..dram.commands import OpType
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """``gap`` non-memory instructions, then one memory instruction."""
+
+    gap: int
+    op: OpType
+    line: int
+    #: True when this access depends on the previous *read* (pointer
+    #: chasing): it cannot be sent to memory before that read returns.
+    depends_on_prev: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError("gap must be non-negative")
+        if self.line < 0:
+            raise ValueError("line must be non-negative")
+
+    @property
+    def instructions(self) -> int:
+        """Instructions this record contributes (gap + the memory op)."""
+        return self.gap + 1
+
+
+class Trace:
+    """A materialized trace with summary statistics."""
+
+    def __init__(self, records: Iterable[TraceRecord], name: str = "trace"):
+        self.records: List[TraceRecord] = list(records)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    @property
+    def instructions(self) -> int:
+        return sum(r.instructions for r in self.records)
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for r in self.records if r.op is OpType.READ)
+
+    @property
+    def writes(self) -> int:
+        return len(self.records) - self.reads
+
+    @property
+    def mpki(self) -> float:
+        """Memory accesses per kilo-instruction."""
+        instructions = self.instructions
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * len(self.records) / instructions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace({self.name}, {len(self.records)} accesses, "
+            f"mpki={self.mpki:.1f})"
+        )

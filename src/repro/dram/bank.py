@@ -1,0 +1,127 @@
+"""Per-bank DRAM state machine.
+
+A bank tracks its open row and the earliest cycles at which each command
+class may legally target it.  All state updates are driven by
+:meth:`Bank.apply`, which is called exactly once per issued command; the
+earliest-time queries are pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .commands import Command, CommandType
+from .timing import TimingParams
+
+
+@dataclass
+class Bank:
+    """State of one DRAM bank."""
+
+    params: TimingParams
+    open_row: Optional[int] = None
+    #: Earliest cycle an ACTIVATE may issue to this bank.
+    next_activate: int = 0
+    #: Earliest cycle a column command may issue to this bank.
+    next_column: int = 0
+    #: Earliest cycle a PRECHARGE may issue to this bank.
+    next_precharge: int = 0
+    #: Cycle of the last activate (for row-open-time accounting).
+    last_activate: int = -1
+    #: Pending auto-precharge completion, if any.
+    auto_precharge_at: Optional[int] = None
+    #: Statistics.
+    stat_activates: int = 0
+    stat_row_hits: int = 0
+    stat_row_misses: int = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None
+
+    def is_row_hit(self, row: int) -> bool:
+        return self.open_row == row
+
+    # ------------------------------------------------------------------
+    # Earliest-time queries (pure).
+    # ------------------------------------------------------------------
+
+    def earliest_activate(self, now: int) -> int:
+        """Earliest cycle an ACT may issue, ignoring rank/channel limits."""
+        t = max(now, self.next_activate)
+        if self.auto_precharge_at is not None:
+            t = max(t, self.auto_precharge_at + self.params.tRP)
+        return t
+
+    def earliest_column(self, now: int, is_read: bool) -> int:
+        """Earliest cycle a column command may issue to the open row."""
+        if not self.is_open:
+            raise RuntimeError("column command to a closed bank")
+        del is_read  # direction limits are rank-level (tCCD/tWTR)
+        return max(now, self.next_column)
+
+    def earliest_precharge(self, now: int) -> int:
+        return max(now, self.next_precharge)
+
+    # ------------------------------------------------------------------
+    # State transitions.
+    # ------------------------------------------------------------------
+
+    def apply(self, cmd: Command) -> None:
+        """Update bank state for a command issued at ``cmd.cycle``."""
+        p = self.params
+        t = cmd.cycle
+        if cmd.type is CommandType.ACTIVATE:
+            self._check(t, self.earliest_activate(t), cmd)
+            self.open_row = cmd.row
+            self.last_activate = t
+            self.auto_precharge_at = None
+            self.next_activate = t + p.tRC
+            self.next_column = t + p.tRCD
+            self.next_precharge = t + p.tRAS
+            self.stat_activates += 1
+        elif cmd.type.is_column:
+            self._check(t, self.earliest_column(t, cmd.type.is_read), cmd)
+            if cmd.type.is_read:
+                # Read-to-precharge and auto-precharge bookkeeping.
+                pre_ready = t + p.tRTP
+            else:
+                pre_ready = t + p.tCWD + p.tBURST + p.tWR
+            self.next_precharge = max(self.next_precharge, pre_ready)
+            if cmd.type.auto_precharge:
+                # The precharge engages as soon as it legally can.
+                auto_at = max(
+                    pre_ready, self.last_activate + p.tRAS
+                )
+                self.auto_precharge_at = auto_at
+                self.open_row = None
+                self.next_activate = max(
+                    self.next_activate, auto_at + p.tRP
+                )
+        elif cmd.type is CommandType.PRECHARGE:
+            self._check(t, self.earliest_precharge(t), cmd)
+            self.open_row = None
+            self.auto_precharge_at = None
+            self.next_activate = max(self.next_activate, t + p.tRP)
+        elif cmd.type is CommandType.REFRESH:
+            # Refresh is issued to a precharged bank; it blocks everything
+            # for tRFC.
+            self.open_row = None
+            self.auto_precharge_at = None
+            self.next_activate = max(self.next_activate, t + p.tRFC)
+            self.next_precharge = max(self.next_precharge, t + p.tRFC)
+        else:
+            raise ValueError(f"bank cannot apply {cmd.type}")
+
+    @staticmethod
+    def _check(t: int, earliest: int, cmd: Command) -> None:
+        if t < earliest:
+            raise TimingViolation(
+                f"{cmd.type.value} at cycle {t} violates bank timing "
+                f"(earliest legal cycle is {earliest})"
+            )
+
+
+class TimingViolation(RuntimeError):
+    """Raised when a command is applied earlier than JEDEC allows."""

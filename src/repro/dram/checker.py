@@ -1,0 +1,212 @@
+"""Independent JEDEC timing validator.
+
+:class:`TimingChecker` replays a finished command stream against the raw
+pairwise DDR3 constraints.  It deliberately does *not* share code with the
+:class:`~repro.dram.bank.Bank` / :class:`~repro.dram.rank.Rank` state
+machines: the two implementations cross-check each other, which is how the
+tests establish that the FS schedules produced by the constraint solver are
+genuinely conflict-free (the paper's central claim in Section 3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from .commands import Command, CommandType
+from .timing import TimingParams
+
+
+@dataclass
+class Violation:
+    """One detected constraint violation."""
+
+    rule: str
+    first: Command
+    second: Command
+    required_gap: int
+    actual_gap: int
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return (
+            f"{self.rule}: {self.first.type.value}@{self.first.cycle} -> "
+            f"{self.second.type.value}@{self.second.cycle} needs "
+            f">= {self.required_gap}, got {self.actual_gap}"
+        )
+
+
+class TimingChecker:
+    """Validate a per-channel command stream against JEDEC constraints."""
+
+    def __init__(self, params: TimingParams) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------
+
+    def check(self, commands: Iterable[Command]) -> List[Violation]:
+        """Return every violation found in the stream (empty == legal).
+
+        Channels have private command/address/data buses, so the stream
+        is checked per channel.
+        """
+        by_channel: Dict[int, List[Command]] = defaultdict(list)
+        for cmd in commands:
+            by_channel[cmd.channel].append(cmd)
+        violations: List[Violation] = []
+        for channel_cmds in by_channel.values():
+            cmds = sorted(
+                channel_cmds, key=lambda c: (c.cycle, c.type.value)
+            )
+            violations.extend(self._check_command_bus(cmds))
+            violations.extend(self._check_data_bus(cmds))
+            violations.extend(self._check_bank_rules(cmds))
+            violations.extend(self._check_rank_rules(cmds))
+        return violations
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_command_bus(cmds: List[Command]) -> List[Violation]:
+        out: List[Violation] = []
+        by_cycle: Dict[int, List[Command]] = defaultdict(list)
+        for cmd in cmds:
+            if cmd.type in (CommandType.POWER_DOWN, CommandType.POWER_UP):
+                continue
+            by_cycle[cmd.cycle].append(cmd)
+        for cycle, group in by_cycle.items():
+            if len(group) > 1:
+                out.append(
+                    Violation("command-bus", group[0], group[1], 1, 0)
+                )
+        return out
+
+    def _check_data_bus(self, cmds: List[Command]) -> List[Violation]:
+        p = self.params
+        out: List[Violation] = []
+        transfers: List[Tuple[int, int, Command]] = []  # (start, rank, cmd)
+        for cmd in cmds:
+            if not cmd.type.is_column:
+                continue
+            offset = p.tCAS if cmd.type.is_read else p.tCWD
+            transfers.append((cmd.cycle + offset, cmd.rank, cmd))
+        transfers.sort(key=lambda t: t[0])
+        for (s1, r1, c1), (s2, r2, c2) in zip(transfers, transfers[1:]):
+            gap = p.tBURST if r1 == r2 else p.tBURST + p.tRTRS
+            if s2 - s1 < gap:
+                out.append(Violation("data-bus", c1, c2, gap, s2 - s1))
+        return out
+
+    def _check_bank_rules(self, cmds: List[Command]) -> List[Violation]:
+        p = self.params
+        out: List[Violation] = []
+        per_bank: Dict[Tuple[int, int], List[Command]] = defaultdict(list)
+        for cmd in cmds:
+            if cmd.type is CommandType.REFRESH:
+                # Refresh hits every bank of the rank.
+                continue
+            if cmd.bank >= 0:
+                per_bank[(cmd.rank, cmd.bank)].append(cmd)
+        for stream in per_bank.values():
+            out.extend(self._check_one_bank(stream))
+        # Refresh interactions, per rank.
+        per_rank: Dict[int, List[Command]] = defaultdict(list)
+        for cmd in cmds:
+            per_rank[cmd.rank].append(cmd)
+        for stream in per_rank.values():
+            refreshes = [c for c in stream if c.type is CommandType.REFRESH]
+            for ref in refreshes:
+                for cmd in stream:
+                    if cmd is ref or cmd.type is CommandType.REFRESH:
+                        continue
+                    if ref.cycle <= cmd.cycle < ref.cycle + p.tRFC:
+                        out.append(
+                            Violation("tRFC", ref, cmd, p.tRFC,
+                                      cmd.cycle - ref.cycle)
+                        )
+        return out
+
+    def _check_one_bank(self, stream: List[Command]) -> List[Violation]:
+        """Sequential per-bank rules: tRC, tRCD, tRAS, tRTP, tWR, tRP."""
+        p = self.params
+        out: List[Violation] = []
+        acts = [c for c in stream if c.type is CommandType.ACTIVATE]
+        for a1, a2 in zip(acts, acts[1:]):
+            if a2.cycle - a1.cycle < p.tRC:
+                out.append(Violation("tRC", a1, a2, p.tRC,
+                                     a2.cycle - a1.cycle))
+        # Column commands must follow their activate by tRCD, and (with
+        # auto-precharge) imply a precharge whose tRP must elapse before
+        # the next activate.
+        last_act: Command = None  # type: ignore[assignment]
+        implied_pre_done = -(10**9)
+        for cmd in stream:
+            if cmd.type is CommandType.ACTIVATE:
+                if cmd.cycle < implied_pre_done:
+                    out.append(
+                        Violation("tRP(auto)", last_act, cmd,
+                                  0, cmd.cycle - implied_pre_done)
+                    )
+                last_act = cmd
+            elif cmd.type.is_column:
+                if last_act is None:
+                    out.append(Violation("no-activate", cmd, cmd, 0, 0))
+                    continue
+                if cmd.cycle - last_act.cycle < p.tRCD:
+                    out.append(
+                        Violation("tRCD", last_act, cmd, p.tRCD,
+                                  cmd.cycle - last_act.cycle)
+                    )
+                if cmd.type.auto_precharge:
+                    if cmd.type.is_read:
+                        pre_at = max(cmd.cycle + p.tRTP,
+                                     last_act.cycle + p.tRAS)
+                    else:
+                        pre_at = max(
+                            cmd.cycle + p.tCWD + p.tBURST + p.tWR,
+                            last_act.cycle + p.tRAS,
+                        )
+                    implied_pre_done = pre_at + p.tRP
+            elif cmd.type is CommandType.PRECHARGE:
+                if last_act is not None:
+                    if cmd.cycle - last_act.cycle < p.tRAS:
+                        out.append(
+                            Violation("tRAS", last_act, cmd, p.tRAS,
+                                      cmd.cycle - last_act.cycle)
+                        )
+                implied_pre_done = cmd.cycle + p.tRP
+        return out
+
+    def _check_rank_rules(self, cmds: List[Command]) -> List[Violation]:
+        """tRRD, tFAW, tCCD and read/write turnaround, per rank."""
+        p = self.params
+        out: List[Violation] = []
+        per_rank: Dict[int, List[Command]] = defaultdict(list)
+        for cmd in cmds:
+            per_rank[cmd.rank].append(cmd)
+        for stream in per_rank.values():
+            acts = [c for c in stream if c.type is CommandType.ACTIVATE]
+            for a1, a2 in zip(acts, acts[1:]):
+                if a2.cycle - a1.cycle < p.tRRD:
+                    out.append(Violation("tRRD", a1, a2, p.tRRD,
+                                         a2.cycle - a1.cycle))
+            for i in range(len(acts) - 4):
+                a1, a5 = acts[i], acts[i + 4]
+                if a5.cycle - a1.cycle < p.tFAW:
+                    out.append(Violation("tFAW", a1, a5, p.tFAW,
+                                         a5.cycle - a1.cycle))
+            cols = [c for c in stream if c.type.is_column]
+            for c1, c2 in zip(cols, cols[1:]):
+                gap = c2.cycle - c1.cycle
+                if c1.type.is_read == c2.type.is_read:
+                    need = p.tCCD
+                    rule = "tCCD"
+                elif c1.type.is_read:
+                    need = p.read_to_write
+                    rule = "rd->wr"
+                else:
+                    need = p.write_to_read
+                    rule = "wr->rd(tWTR)"
+                if gap < need:
+                    out.append(Violation(rule, c1, c2, need, gap))
+        return out

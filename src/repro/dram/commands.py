@@ -1,0 +1,170 @@
+"""DRAM command and memory-transaction types.
+
+A *transaction* is a cache-line read or write as seen by the memory
+controller; it decomposes into DRAM *commands* (ACTIVATE, COL_READ,
+COL_WRITE, PRECHARGE, REFRESH, power-mode changes).  Commands carry the
+cycle at which they were put on the command bus, which is what the timing
+checker and the security invariants inspect.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CommandType(enum.Enum):
+    """The DDR3 command set modelled by this simulator."""
+
+    ACTIVATE = "ACT"
+    COL_READ = "RD"
+    COL_WRITE = "WR"
+    #: Column read/write with auto-precharge (the FS default).
+    COL_READ_AP = "RDA"
+    COL_WRITE_AP = "WRA"
+    PRECHARGE = "PRE"
+    REFRESH = "REF"
+    POWER_DOWN = "PDN"
+    POWER_UP = "PUP"
+
+    @property
+    def is_column(self) -> bool:
+        return self in _COLUMN_COMMANDS
+
+    @property
+    def is_read(self) -> bool:
+        return self in (CommandType.COL_READ, CommandType.COL_READ_AP)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (CommandType.COL_WRITE, CommandType.COL_WRITE_AP)
+
+    @property
+    def auto_precharge(self) -> bool:
+        return self in (CommandType.COL_READ_AP, CommandType.COL_WRITE_AP)
+
+
+_COLUMN_COMMANDS = frozenset(
+    {
+        CommandType.COL_READ,
+        CommandType.COL_WRITE,
+        CommandType.COL_READ_AP,
+        CommandType.COL_WRITE_AP,
+    }
+)
+
+
+class OpType(enum.Enum):
+    """Transaction direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_read(self) -> bool:
+        return self is OpType.READ
+
+
+class RequestKind(enum.Enum):
+    """Why a transaction exists; the FS shaper distinguishes these."""
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+    DUMMY = "dummy"
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Address:
+    """A decoded DRAM address."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+    def same_bank(self, other: "Address") -> bool:
+        return (
+            self.channel == other.channel
+            and self.rank == other.rank
+            and self.bank == other.bank
+        )
+
+    def same_rank(self, other: "Address") -> bool:
+        return self.channel == other.channel and self.rank == other.rank
+
+    def bank_key(self) -> tuple:
+        return (self.channel, self.rank, self.bank)
+
+
+@dataclass
+class Request:
+    """A memory transaction travelling through the controller.
+
+    Timestamps are in memory cycles: ``arrival`` when the transaction
+    entered the controller, ``issue`` when its first command went on the
+    bus, ``data_start`` when its burst began, ``completion`` when the data
+    burst finished (for reads this is when the line is returned, unless a
+    scheme deliberately delays the return — see ``release``).
+    """
+
+    op: OpType
+    address: Address
+    domain: int = 0
+    kind: RequestKind = RequestKind.DEMAND
+    arrival: int = 0
+    #: Domain-local line address (pre-mapping), used by the prefetcher.
+    line: Optional[int] = None
+    core_tag: Optional[object] = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    issue: Optional[int] = None
+    data_start: Optional[int] = None
+    completion: Optional[int] = None
+    #: When the result was released to the core (>= completion; FS
+    #: reordered-BP holds read results until the end of the interval).
+    release: Optional[int] = None
+    row_hit: bool = False
+    suppressed: bool = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is OpType.READ
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Arrival-to-release latency in memory cycles, if finished."""
+        if self.release is None:
+            return None
+        return self.release - self.arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request({self.op.value} d{self.domain} {self.kind.value} "
+            f"ch{self.address.channel} r{self.address.rank} "
+            f"b{self.address.bank} row{self.address.row} "
+            f"arr={self.arrival})"
+        )
+
+
+@dataclass(frozen=True)
+class Command:
+    """A command as it appeared on the command bus."""
+
+    type: CommandType
+    cycle: int
+    channel: int
+    rank: int
+    bank: int = -1
+    row: int = -1
+    request_id: int = -1
+    domain: int = -1
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("command cycle must be non-negative")

@@ -1,0 +1,143 @@
+"""Micron-style DDR3 power model.
+
+Implements the standard IDD-based power equations that the Micron system
+power calculator (the tool used in the paper) is built on.  Energy is
+accounted per rank from the :class:`~repro.dram.rank.RankEnergyCounters`
+activity counts:
+
+* activate/precharge pair: ``(IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC-tRAS))``
+* read / write burst: ``(IDD4R/W - IDD3N) * tBURST``
+* refresh: ``(IDD5 - IDD2N) * tRFC``
+* background: active-standby (IDD3N), precharge-standby (IDD2N) and
+  power-down (IDD2P) residency
+* I/O and termination: a per-burst adder.
+
+With currents in mA, voltage in V and times in ns, the products below are
+directly in picojoules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .rank import RankEnergyCounters
+from .timing import TimingParams
+
+
+@dataclass(frozen=True)
+class DramPowerParams:
+    """Datasheet currents for one DRAM device (Micron 4 Gb DDR3-1600 x8)."""
+
+    vdd: float = 1.5
+    idd0: float = 65.0    # one-bank activate-precharge current (mA)
+    idd2n: float = 32.0   # precharge standby
+    idd2p: float = 12.0   # precharge power-down (slow exit)
+    idd3n: float = 38.0   # active standby
+    idd4r: float = 150.0  # burst read
+    idd4w: float = 155.0  # burst write
+    idd5: float = 215.0   # burst refresh
+    #: Devices ganged into one rank (64-bit channel of x8 parts).
+    devices_per_rank: int = 8
+    #: I/O + termination energy per data burst, per rank, in pJ.
+    io_energy_per_burst_pj: float = 520.0
+
+    def __post_init__(self) -> None:
+        if self.devices_per_rank < 1:
+            raise ValueError("devices_per_rank must be >= 1")
+        if min(self.idd0, self.idd2n, self.idd2p, self.idd3n,
+               self.idd4r, self.idd4w, self.idd5) <= 0:
+            raise ValueError("IDD currents must be positive")
+
+
+MICRON_4GB_DDR3_1600 = DramPowerParams()
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-rank energy in picojoules, by component."""
+
+    activate_pj: float
+    read_pj: float
+    write_pj: float
+    refresh_pj: float
+    background_pj: float
+    io_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.activate_pj + self.read_pj + self.write_pj
+            + self.refresh_pj + self.background_pj + self.io_pj
+        )
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_pj * 1e-9
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.activate_pj + other.activate_pj,
+            self.read_pj + other.read_pj,
+            self.write_pj + other.write_pj,
+            self.refresh_pj + other.refresh_pj,
+            self.background_pj + other.background_pj,
+            self.io_pj + other.io_pj,
+        )
+
+
+ZERO_ENERGY = EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class PowerModel:
+    """Prices a rank's activity counters into energy."""
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        power: DramPowerParams = MICRON_4GB_DDR3_1600,
+        cycle_ns: float = 1.25,
+    ) -> None:
+        if cycle_ns <= 0:
+            raise ValueError("cycle_ns must be positive")
+        self.timing = timing
+        self.power = power
+        self.cycle_ns = cycle_ns
+
+    def _scale(self) -> float:
+        """mA * V * ns -> pJ, for all devices of the rank."""
+        return self.power.vdd * self.power.devices_per_rank * self.cycle_ns
+
+    def rank_energy(self, counters: RankEnergyCounters) -> EnergyBreakdown:
+        t = self.timing
+        p = self.power
+        scale = self._scale()
+
+        act_charge = (
+            p.idd0 * t.tRC
+            - p.idd3n * t.tRAS
+            - p.idd2n * (t.tRC - t.tRAS)
+        )
+        activate_pj = counters.activates * act_charge * scale
+        read_pj = counters.reads * (p.idd4r - p.idd3n) * t.tBURST * scale
+        write_pj = counters.writes * (p.idd4w - p.idd3n) * t.tBURST * scale
+        refresh_pj = counters.refreshes * (p.idd5 - p.idd2n) * t.tRFC * scale
+        background_pj = (
+            counters.cycles_active * p.idd3n
+            + counters.cycles_precharged * p.idd2n
+            + counters.cycles_power_down * p.idd2p
+        ) * scale
+        io_pj = (
+            (counters.reads + counters.writes)
+            * p.io_energy_per_burst_pj
+        )
+        return EnergyBreakdown(
+            activate_pj, read_pj, write_pj, refresh_pj, background_pj, io_pj
+        )
+
+    def system_energy(self, dram_system) -> EnergyBreakdown:
+        """Aggregate energy across every rank of a DramSystem."""
+        total = ZERO_ENERGY
+        for channel in dram_system.channels:
+            for rank in channel.ranks:
+                total = total + self.rank_energy(rank.energy)
+        return total

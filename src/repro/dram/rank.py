@@ -1,0 +1,204 @@
+"""Per-rank DRAM state: tRRD/tFAW activation windows, column turnaround,
+power modes, and energy counters.
+
+The banks of a rank share charge pumps and I/O, so activates are limited by
+``tRRD`` (pairwise) and ``tFAW`` (four per sliding window), and column
+commands by ``tCCD`` plus the read/write turnaround delays.  The rank also
+tracks power-state residency so the Micron-style power model can price
+background energy.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from .bank import Bank, TimingViolation
+from .commands import Command, CommandType
+from .timing import TimingParams
+
+
+class PowerState(enum.Enum):
+    """Rank power states (a subset of the DDR3 state machine)."""
+
+    ACTIVE = "active"          # at least one bank open, clock on
+    PRECHARGED = "precharged"  # all banks closed, clock on
+    POWER_DOWN = "power_down"  # fast-exit precharge power-down
+
+
+@dataclass
+class RankEnergyCounters:
+    """Raw activity counts consumed by :mod:`repro.dram.power`."""
+
+    activates: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    cycles_active: int = 0
+    cycles_precharged: int = 0
+    cycles_power_down: int = 0
+
+    def total_cycles(self) -> int:
+        return (
+            self.cycles_active
+            + self.cycles_precharged
+            + self.cycles_power_down
+        )
+
+
+class Rank:
+    """One rank: a set of banks plus rank-level constraints."""
+
+    def __init__(self, params: TimingParams, num_banks: int = 8) -> None:
+        if num_banks < 1:
+            raise ValueError("a rank needs at least one bank")
+        self.params = params
+        self.banks: List[Bank] = [Bank(params) for _ in range(num_banks)]
+        #: Issue cycles of recent activates (for tFAW window).
+        self._act_times: Deque[int] = deque(maxlen=4)
+        self._last_act: int = -(10**9)
+        #: Last column command issue cycle and direction.
+        self._last_col: int = -(10**9)
+        self._last_col_was_read: bool = True
+        self.power_state: PowerState = PowerState.PRECHARGED
+        self._power_until: int = 0  # earliest cycle a command may issue
+        self._state_since: int = 0
+        self.energy = RankEnergyCounters()
+
+    # ------------------------------------------------------------------
+    # Earliest-time queries.
+    # ------------------------------------------------------------------
+
+    def earliest_activate(self, now: int, bank: int) -> int:
+        t = self.banks[bank].earliest_activate(now)
+        t = max(t, self._last_act + self.params.tRRD, self._power_until)
+        if len(self._act_times) == 4:
+            t = max(t, self._act_times[0] + self.params.tFAW)
+        return t
+
+    def earliest_column_rank_level(self, now: int, is_read: bool) -> int:
+        """Rank-level column bound only (tCCD / turnaround / power),
+        ignoring per-bank state — for planning a column that will follow
+        an activate not yet issued."""
+        t = max(now, self._power_until)
+        if self._last_col_was_read == is_read:
+            gap = self.params.tCCD
+        elif is_read:
+            gap = self.params.write_to_read
+        else:
+            gap = self.params.read_to_write
+        return max(t, self._last_col + gap)
+
+    def earliest_column(self, now: int, bank: int, is_read: bool) -> int:
+        t = self.banks[bank].earliest_column(now, is_read)
+        return self.earliest_column_rank_level(t, is_read)
+
+    def earliest_precharge(self, now: int, bank: int) -> int:
+        return max(self.banks[bank].earliest_precharge(now),
+                   self._power_until)
+
+    def earliest_refresh(self, now: int) -> int:
+        """Refresh needs all banks precharged; report when that holds."""
+        t = max(now, self._power_until)
+        for bank in self.banks:
+            if bank.is_open:
+                # Caller must precharge first; report the bound assuming a
+                # precharge issued as early as possible.
+                t = max(t, bank.earliest_precharge(now) + self.params.tRP)
+            else:
+                t = max(t, bank.next_activate)
+                if bank.auto_precharge_at is not None:
+                    t = max(t, bank.auto_precharge_at + self.params.tRP)
+        return t
+
+    # ------------------------------------------------------------------
+    # State transitions.
+    # ------------------------------------------------------------------
+
+    def apply(self, cmd: Command) -> None:
+        p = self.params
+        t = cmd.cycle
+        if cmd.type is CommandType.ACTIVATE:
+            lower = self.earliest_activate(t, cmd.bank)
+            if t < lower:
+                raise TimingViolation(
+                    f"ACT at {t} violates rank constraint "
+                    f"(earliest {lower})"
+                )
+            self._account_state(t)
+            self._act_times.append(t)
+            self._last_act = t
+            self.energy.activates += 1
+            self.banks[cmd.bank].apply(cmd)
+            self._enter(PowerState.ACTIVE, t)
+        elif cmd.type.is_column:
+            lower = self.earliest_column(t, cmd.bank, cmd.type.is_read)
+            if t < lower:
+                raise TimingViolation(
+                    f"{cmd.type.value} at {t} violates rank constraint "
+                    f"(earliest {lower})"
+                )
+            self._last_col = t
+            self._last_col_was_read = cmd.type.is_read
+            if cmd.type.is_read:
+                self.energy.reads += 1
+            else:
+                self.energy.writes += 1
+            self.banks[cmd.bank].apply(cmd)
+            if cmd.type.auto_precharge and not self.any_bank_open:
+                self._account_state(t)
+                self._enter(PowerState.PRECHARGED, t)
+        elif cmd.type is CommandType.PRECHARGE:
+            self.banks[cmd.bank].apply(cmd)
+            if not self.any_bank_open:
+                self._account_state(t)
+                self._enter(PowerState.PRECHARGED, t)
+        elif cmd.type is CommandType.REFRESH:
+            lower = self.earliest_refresh(t)
+            if t < lower:
+                raise TimingViolation(
+                    f"REF at {t} violates rank constraint (earliest {lower})"
+                )
+            self._account_state(t)
+            self.energy.refreshes += 1
+            for bank in self.banks:
+                bank.apply(cmd)
+            self._enter(PowerState.PRECHARGED, t)
+        elif cmd.type is CommandType.POWER_DOWN:
+            if self.any_bank_open:
+                raise TimingViolation("power-down with open banks")
+            self._account_state(t)
+            self._enter(PowerState.POWER_DOWN, t)
+            self._power_until = t + self.params.tCKE
+        elif cmd.type is CommandType.POWER_UP:
+            if self.power_state is not PowerState.POWER_DOWN:
+                raise TimingViolation("power-up while not powered down")
+            self._account_state(t)
+            self._enter(PowerState.PRECHARGED, t)
+            self._power_until = t + self.params.tXP
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"rank cannot apply {cmd.type}")
+
+    @property
+    def any_bank_open(self) -> bool:
+        return any(bank.is_open for bank in self.banks)
+
+    def finalize(self, end_cycle: int) -> None:
+        """Close the power-state accounting at the end of simulation."""
+        self._account_state(end_cycle)
+
+    def _enter(self, state: PowerState, t: int) -> None:
+        self.power_state = state
+        self._state_since = t
+
+    def _account_state(self, t: int) -> None:
+        span = max(0, t - self._state_since)
+        if self.power_state is PowerState.ACTIVE:
+            self.energy.cycles_active += span
+        elif self.power_state is PowerState.PRECHARGED:
+            self.energy.cycles_precharged += span
+        else:
+            self.energy.cycles_power_down += span
+        self._state_since = t

@@ -1,0 +1,108 @@
+"""Deterministic refresh scheduling.
+
+DDR3 requires one all-bank REFRESH per rank every ``tREFI`` on average.
+For the secure (FS/TP) controllers the refresh schedule must depend on
+nothing but the wall-clock cycle — otherwise refresh deferral would itself
+become a timing channel — so the scheduler here is purely clock-driven:
+rank ``r`` refreshes at ``phase(r) + k * tREFI``.  Ranks are staggered so
+that at most one rank of a channel is refreshing at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .timing import TimingParams
+
+
+@dataclass(frozen=True)
+class RefreshWindow:
+    """A scheduled refresh: the REF command issues at ``start`` and the
+    rank is unavailable until ``end`` (= start + tRFC)."""
+
+    rank: int
+    start: int
+    end: int
+
+    def blocks(self, cycle: int) -> bool:
+        return self.start <= cycle < self.end
+
+
+class RefreshScheduler:
+    """Clock-driven refresh timetable for the ranks of one channel."""
+
+    def __init__(
+        self,
+        params: TimingParams,
+        num_ranks: int,
+        enabled: bool = True,
+    ) -> None:
+        if num_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.params = params
+        self.num_ranks = num_ranks
+        self.enabled = enabled
+        #: Per-rank offset of the first refresh; staggering spreads the
+        #: tRFC blackouts across the tREFI period.
+        self._stride = params.tREFI // max(1, num_ranks)
+
+    def phase(self, rank: int) -> int:
+        self._require_valid_rank(rank)
+        return rank * self._stride
+
+    def next_refresh(self, rank: int, now: int) -> Optional[RefreshWindow]:
+        """The first refresh window for ``rank`` whose start is >= now."""
+        if not self.enabled:
+            return None
+        self._require_valid_rank(rank)
+        phase = self.phase(rank)
+        if now <= phase:
+            start = phase
+        else:
+            k = -(-(now - phase) // self.params.tREFI)  # ceil division
+            start = phase + k * self.params.tREFI
+        return RefreshWindow(rank, start, start + self.params.tRFC)
+
+    def current_window(self, rank: int, now: int) -> Optional[RefreshWindow]:
+        """The refresh window covering ``now``, if ``rank`` is mid-refresh."""
+        if not self.enabled:
+            return None
+        self._require_valid_rank(rank)
+        phase = self.phase(rank)
+        if now < phase:
+            return None
+        k = (now - phase) // self.params.tREFI
+        start = phase + k * self.params.tREFI
+        window = RefreshWindow(rank, start, start + self.params.tRFC)
+        return window if window.blocks(now) else None
+
+    def blocked_until(self, rank: int, cycle: int) -> int:
+        """First cycle >= ``cycle`` at which ``rank`` is not refreshing."""
+        window = self.current_window(rank, cycle)
+        return window.end if window is not None else cycle
+
+    def windows_between(
+        self, rank: int, start: int, end: int
+    ) -> List[RefreshWindow]:
+        """All refresh windows for ``rank`` intersecting [start, end)."""
+        if not self.enabled or end <= start:
+            return []
+        out: List[RefreshWindow] = []
+        current = self.current_window(rank, start)
+        if current is not None:
+            out.append(current)
+        cursor = start
+        while True:
+            nxt = self.next_refresh(rank, cursor)
+            assert nxt is not None
+            if nxt.start >= end:
+                break
+            if not out or nxt.start > out[-1].start:
+                out.append(nxt)
+            cursor = nxt.start + 1
+        return out
+
+    def _require_valid_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range")

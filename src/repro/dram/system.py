@@ -1,0 +1,64 @@
+"""Multi-channel DRAM system wrapper."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .channel import Channel
+from .timing import TimingParams, DDR3_1600_X4
+
+
+class DramSystem:
+    """A set of independent channels sharing one set of timing parameters.
+
+    Channels have private command/address/data buses, so there is no
+    cross-channel timing interaction; the wrapper exists for configuration
+    and aggregate statistics.
+    """
+
+    def __init__(
+        self,
+        params: TimingParams = DDR3_1600_X4,
+        num_channels: int = 1,
+        ranks_per_channel: int = 8,
+        banks_per_rank: int = 8,
+    ) -> None:
+        if num_channels < 1:
+            raise ValueError("need at least one channel")
+        self.params = params
+        self.channels: List[Channel] = [
+            Channel(params, ranks_per_channel, banks_per_rank, channel_id=c)
+            for c in range(num_channels)
+        ]
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels)
+
+    @property
+    def ranks_per_channel(self) -> int:
+        return len(self.channels[0].ranks)
+
+    @property
+    def banks_per_rank(self) -> int:
+        return self.channels[0].num_banks
+
+    @property
+    def total_banks(self) -> int:
+        return (
+            self.num_channels * self.ranks_per_channel * self.banks_per_rank
+        )
+
+    def finalize(self, end_cycle: int) -> None:
+        for channel in self.channels:
+            channel.finalize(end_cycle)
+
+    def total_data_cycles(self) -> int:
+        return sum(ch.stat_data_cycles for ch in self.channels)
+
+    def bus_utilization(self, elapsed_cycles: int) -> float:
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.total_data_cycles() / (
+            elapsed_cycles * self.num_channels
+        )

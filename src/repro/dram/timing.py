@@ -1,0 +1,183 @@
+"""DDR3 timing parameters.
+
+All values are integers in DRAM *bus* cycles unless stated otherwise.  At
+DDR3-1600 the bus clock is 800 MHz, so one cycle is 1.25 ns and a burst of
+eight (one 64-byte cache line over a 64-bit channel) occupies the data bus
+for ``tBURST = 4`` cycles (double data rate).
+
+The default parameter set, :data:`DDR3_1600_X4`, is the configuration from
+Table 1 of the paper (a 4 Gb x4 DDR3-1600 part).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """JEDEC DDR3 timing constraints, in memory (bus) cycles.
+
+    The attribute names follow the JEDEC / USIMM conventions used in the
+    paper.  Where the paper derives compound delays, the same derivations
+    are exposed as properties (:attr:`read_to_write`, :attr:`write_to_read`,
+    etc.) so that the constraint solver, the schedulers, and the timing
+    checker all share one definition.
+    """
+
+    #: Activate to read/write delay (row address to column address).
+    tRCD: int = 11
+    #: Column-read to first data on the bus (CAS latency).
+    tCAS: int = 11
+    #: Column-write to first data on the bus (CAS write latency).
+    tCWD: int = 5
+    #: Data bus occupancy of one cache-line transfer (burst of 8, DDR).
+    tBURST: int = 4
+    #: Activate to precharge (minimum row-open time).
+    tRAS: int = 28
+    #: Precharge to activate (row close time).
+    tRP: int = 11
+    #: Activate to activate, same bank (= tRAS + tRP).
+    tRC: int = 39
+    #: Activate to activate, different banks of the same rank.
+    tRRD: int = 5
+    #: Sliding window: at most four activates to one rank per tFAW.
+    tFAW: int = 24
+    #: Write recovery: last write data to precharge, same bank.
+    tWR: int = 12
+    #: Internal write-to-read turnaround, same rank.
+    tWTR: int = 6
+    #: Read to precharge, same bank.
+    tRTP: int = 6
+    #: Column command to column command, same rank (burst gap).
+    tCCD: int = 4
+    #: Rank-to-rank data bus switching penalty.
+    tRTRS: int = 2
+    #: Average refresh interval, in cycles (7.8 us at 1.25 ns/cycle).
+    tREFI: int = 6240
+    #: Refresh cycle time, in cycles (260 ns at 1.25 ns/cycle).
+    tRFC: int = 208
+    #: Command bus occupancy of one command.
+    tCMD: int = 1
+    #: Power-down exit latency (fast-exit precharge power-down).
+    tXP: int = 5
+    #: Power-down entry latency.
+    tCKE: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tRC < self.tRAS + self.tRP:
+            raise ValueError(
+                f"tRC ({self.tRC}) must cover tRAS + tRP "
+                f"({self.tRAS} + {self.tRP})"
+            )
+        for name in (
+            "tRCD", "tCAS", "tCWD", "tBURST", "tRAS", "tRP", "tRRD",
+            "tFAW", "tWR", "tWTR", "tRTP", "tCCD", "tRTRS", "tREFI",
+            "tRFC", "tCMD", "tXP", "tCKE",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    # ------------------------------------------------------------------
+    # Compound delays used throughout the paper's equations.
+    # ------------------------------------------------------------------
+
+    @property
+    def read_to_write(self) -> int:
+        """Column-read to column-write gap, same rank (paper: Rd2Wr = 10)."""
+        return self.tCAS + self.tBURST - self.tCWD
+
+    @property
+    def write_to_read(self) -> int:
+        """Column-write to column-read gap, same rank (paper: Wr2Rd = 15)."""
+        return self.tCWD + self.tBURST + self.tWTR
+
+    @property
+    def read_act_offset(self) -> int:
+        """Activate-to-data offset for a read (tRCD + tCAS = 22)."""
+        return self.tRCD + self.tCAS
+
+    @property
+    def write_act_offset(self) -> int:
+        """Activate-to-data offset for a write (tRCD + tCWD = 16)."""
+        return self.tRCD + self.tCWD
+
+    @property
+    def write_turnaround_same_bank(self) -> int:
+        """Worst-case activate-to-activate gap, same bank, write then read.
+
+        A write's activate at 0 puts data on the bus during
+        ``[write_act_offset, write_act_offset + tBURST)``; the precharge may
+        only issue ``tWR`` after the last data beat, and the next activate
+        ``tRP`` after that.  For the Table-1 part this is 43 cycles — the
+        paper's no-partitioning slot gap.
+        """
+        return self.write_act_offset + self.tBURST + self.tWR + self.tRP
+
+    def data_gap(self, same_rank: bool, same_type: bool,
+                 first_is_write: bool) -> int:
+        """Minimum start-to-start gap between two data-bus transfers.
+
+        ``same_rank`` selects whether the tRTRS switching penalty applies;
+        for same-rank transfers of different type the read/write turnaround
+        delays dominate.
+        """
+        if not same_rank:
+            return self.tBURST + self.tRTRS
+        if same_type:
+            return max(self.tBURST, self.tCCD)
+        if first_is_write:
+            # Data positions: write data at CW + tCWD, read data at
+            # CR + tCAS, with CR >= CW + write_to_read.
+            return self.write_to_read - self.tCWD + self.tCAS
+        return self.read_to_write - self.tCAS + self.tCWD
+
+    def scaled(self, **overrides: int) -> "TimingParams":
+        """Return a copy with selected fields replaced (for sweeps)."""
+        return replace(self, **overrides)
+
+
+#: Table 1 of the paper: 4 Gb DDR3-1600 (1.25 ns bus cycle).
+DDR3_1600_X4 = TimingParams()
+
+#: A slower part, used in sensitivity tests.
+DDR3_1066 = TimingParams(
+    tRCD=8, tCAS=8, tCWD=6, tBURST=4, tRAS=20, tRP=8, tRC=28,
+    tRRD=4, tFAW=20, tWR=8, tWTR=4, tRTP=4, tCCD=4, tRTRS=2,
+    tREFI=4160, tRFC=139,
+)
+
+#: A DDR4-2400 part (0.833 ns bus cycle) — the paper cites the DDR4
+#: JEDEC standard; the solver handles it like any other parameter set.
+DDR4_2400 = TimingParams(
+    tRCD=16, tCAS=16, tCWD=12, tBURST=4, tRAS=39, tRP=16, tRC=55,
+    tRRD=6, tFAW=26, tWR=18, tWTR=9, tRTP=9, tCCD=6, tRTRS=2,
+    tREFI=9363, tRFC=420,
+)
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """Relates CPU time to DRAM bus time.
+
+    The paper's system runs 3.2 GHz cores against an 800 MHz DDR3-1600 bus,
+    i.e. four CPU cycles per memory cycle.
+    """
+
+    cpu_per_mem_cycle: int = 4
+    mem_cycle_ns: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.cpu_per_mem_cycle < 1:
+            raise ValueError("cpu_per_mem_cycle must be >= 1")
+        if self.mem_cycle_ns <= 0:
+            raise ValueError("mem_cycle_ns must be positive")
+
+    def cpu_cycles(self, mem_cycles: int) -> int:
+        return mem_cycles * self.cpu_per_mem_cycle
+
+    def ns(self, mem_cycles: int) -> float:
+        return mem_cycles * self.mem_cycle_ns
+
+
+DEFAULT_CLOCK = ClockDomain()

@@ -1,0 +1,17 @@
+"""Address mapping and OS-level spatial partitioning policies."""
+
+from .address import AddressMapper, Geometry, FIELDS
+from .partition import (
+    PartitionPolicy,
+    ChannelPartition,
+    RankPartition,
+    BankPartition,
+    NoPartition,
+    make_partition,
+)
+
+__all__ = [
+    "AddressMapper", "Geometry", "FIELDS",
+    "PartitionPolicy", "ChannelPartition", "RankPartition",
+    "BankPartition", "NoPartition", "make_partition",
+]

@@ -1,0 +1,121 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+Addresses are cache-line granular (one line = one column burst).  The
+mapper splits a line address into channel / rank / bank / row / column
+fields according to an interleaving order; the default,
+``row:rank:bank:column``, keeps consecutive lines in the same row (open
+page friendly), matching the baseline system in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..dram.commands import Address
+
+#: Field-order names accepted by :class:`AddressMapper`.
+FIELDS = ("channel", "rank", "bank", "row", "column")
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """DRAM geometry in cache-line units.
+
+    The default is one channel of eight ranks x eight banks with 64K rows
+    of 128 lines (8 KB rows of 64 B lines) — a 4 GB rank built from 4 Gb
+    parts, as in Table 1.
+    """
+
+    channels: int = 1
+    ranks: int = 8
+    banks: int = 8
+    rows: int = 65536
+    columns: int = 128
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ranks", "banks", "rows", "columns"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def lines_total(self) -> int:
+        return (
+            self.channels * self.ranks * self.banks
+            * self.rows * self.columns
+        )
+
+    @property
+    def lines_per_bank(self) -> int:
+        return self.rows * self.columns
+
+    def size(self, field: str) -> int:
+        return {
+            "channel": self.channels,
+            "rank": self.ranks,
+            "bank": self.banks,
+            "row": self.rows,
+            "column": self.columns,
+        }[field]
+
+
+class AddressMapper:
+    """Split a line address into DRAM coordinates.
+
+    ``order`` lists fields from most- to least-significant; the default
+    ``("row", "rank", "bank", "column")`` with channel innermost-above-
+    column gives open-page row locality with bank/rank interleaving at row
+    granularity.
+    """
+
+    DEFAULT_ORDER: Tuple[str, ...] = (
+        "row", "rank", "bank", "channel", "column"
+    )
+
+    def __init__(
+        self,
+        geometry: Geometry = Geometry(),
+        order: Sequence[str] = DEFAULT_ORDER,
+    ) -> None:
+        order = tuple(order)
+        if sorted(order) != sorted(FIELDS):
+            raise ValueError(
+                f"order must be a permutation of {FIELDS}, got {order}"
+            )
+        self.geometry = geometry
+        self.order = order
+
+    def decode(self, line_addr: int) -> Address:
+        """Map a line address to DRAM coordinates (wraps modulo capacity)."""
+        if line_addr < 0:
+            raise ValueError("line address must be non-negative")
+        remaining = line_addr % self.geometry.lines_total
+        values = {}
+        for field in reversed(self.order):  # least significant first
+            size = self.geometry.size(field)
+            values[field] = remaining % size
+            remaining //= size
+        return Address(
+            channel=values["channel"],
+            rank=values["rank"],
+            bank=values["bank"],
+            row=values["row"],
+            column=values["column"],
+        )
+
+    def encode(self, address: Address) -> int:
+        """Inverse of :meth:`decode`."""
+        values = {
+            "channel": address.channel,
+            "rank": address.rank,
+            "bank": address.bank,
+            "row": address.row,
+            "column": address.column,
+        }
+        for field, value in values.items():
+            if not 0 <= value < self.geometry.size(field):
+                raise ValueError(f"{field}={value} out of range")
+        line = 0
+        for field in self.order:  # most significant first
+            line = line * self.geometry.size(field) + values[field]
+        return line

@@ -1,0 +1,5 @@
+"""Prefetchers that can fill FS dummy slots with useful work."""
+
+from .sandbox import SandboxPrefetcher
+
+__all__ = ["SandboxPrefetcher"]

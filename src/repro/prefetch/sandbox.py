@@ -1,0 +1,130 @@
+"""Sandbox prefetcher (Pugsley et al., HPCA 2014), simplified.
+
+The FS controller uses a thread's otherwise-wasted dummy slots to issue
+prefetches (Section 5.2).  The sandbox prefetcher evaluates a set of
+candidate *offset* prefetchers without touching memory: each candidate's
+hypothetical prefetches go into a sandbox filter, and when later demand
+accesses hit the sandbox, the candidate scores.  Candidates scoring above
+a threshold become active and generate real prefetch lines — at most
+:attr:`SandboxPrefetcher.MAX_ACTIVE` per demand access, mirroring the
+paper's "up to 4 high-confidence prefetch instructions".
+
+Everything is keyed on the domain's own demand stream only, so the
+prefetcher cannot leak cross-domain information.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set
+
+
+@dataclass
+class _Candidate:
+    offset: int
+    score: int = 0
+    #: Lines this candidate *would* have prefetched (the sandbox).
+    sandbox: Set[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sandbox is None:
+            self.sandbox = set()
+
+
+class SandboxPrefetcher:
+    """Offset prefetcher with sandbox-based confidence estimation."""
+
+    #: Candidate strides evaluated in the sandbox.
+    DEFAULT_OFFSETS = (1, 2, 3, 4, -1, -2, 8, 16)
+    #: Demand accesses per evaluation round.
+    ROUND_LENGTH = 128
+    #: Minimum sandbox hits for a candidate to go live (25% accuracy).
+    ACTIVATION_SCORE = 32
+    #: Active offsets generating real prefetches ("up to 4").
+    MAX_ACTIVE = 4
+    #: Sandbox capacity per candidate (a Bloom filter stand-in).
+    SANDBOX_CAPACITY = 1024
+    #: Real prefetch queue depth ("a few-entry prefetch queue").
+    QUEUE_DEPTH = 4
+
+    def __init__(
+        self,
+        offsets=DEFAULT_OFFSETS,
+        seed: int = 0,
+        round_length: int = None,
+        activation_score: int = None,
+    ) -> None:
+        if not offsets:
+            raise ValueError("need at least one candidate offset")
+        if round_length is not None:
+            if round_length < 1:
+                raise ValueError("round_length must be positive")
+            self.ROUND_LENGTH = round_length
+        if activation_score is not None:
+            if activation_score < 1:
+                raise ValueError("activation_score must be positive")
+            self.ACTIVATION_SCORE = activation_score
+        self._candidates: List[_Candidate] = [
+            _Candidate(offset) for offset in offsets
+        ]
+        self._active: List[int] = []
+        self._accesses_this_round = 0
+        self._queue: Deque[int] = deque(maxlen=self.QUEUE_DEPTH)
+        self._issued: Set[int] = set()
+        self._rng = random.Random(seed)
+        self.stat_observed = 0
+        self.stat_generated = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(self, line: int) -> None:
+        """Feed one demand access (domain-local line address)."""
+        self.stat_observed += 1
+        self._accesses_this_round += 1
+        for candidate in self._candidates:
+            if line in candidate.sandbox:
+                candidate.score += 1
+                candidate.sandbox.discard(line)
+            hypothetical = line + candidate.offset
+            if hypothetical >= 0:
+                candidate.sandbox.add(hypothetical)
+                if len(candidate.sandbox) > self.SANDBOX_CAPACITY:
+                    candidate.sandbox.pop()
+        if self._accesses_this_round >= self.ROUND_LENGTH:
+            self._finish_round()
+        for offset in self._active:
+            target = line + offset
+            if target >= 0 and target not in self._issued:
+                self._queue.append(target)
+                self._issued.add(target)
+                self.stat_generated += 1
+                if len(self._issued) > 4 * self.SANDBOX_CAPACITY:
+                    self._issued.clear()
+
+    def _finish_round(self) -> None:
+        scored = sorted(
+            self._candidates, key=lambda c: c.score, reverse=True
+        )
+        self._active = [
+            c.offset for c in scored[: self.MAX_ACTIVE]
+            if c.score >= self.ACTIVATION_SCORE
+        ]
+        for candidate in self._candidates:
+            candidate.score = 0
+            candidate.sandbox.clear()
+        self._accesses_this_round = 0
+
+    # ------------------------------------------------------------------
+
+    def claim_candidates(self) -> List[int]:
+        """Drain the prefetch queue (called by the FS controller when a
+        dummy slot could carry a prefetch instead)."""
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    @property
+    def active_offsets(self) -> List[int]:
+        return list(self._active)

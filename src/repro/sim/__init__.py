@@ -1,0 +1,23 @@
+"""Simulation wiring: configuration, the system event loop, and runners."""
+
+from .config import SystemConfig, TABLE1_CONFIG, full_target_config
+from .multichannel import MultiChannelFsController
+from .system import CoreResult, RunResult, System
+from .runner import (
+    SCHEMES,
+    SchemeOptions,
+    build_controller,
+    build_system,
+    partition_for,
+    run_scheme,
+)
+from .sweep import Sweep, SweepPoint
+
+__all__ = [
+    "SystemConfig", "TABLE1_CONFIG", "full_target_config",
+    "MultiChannelFsController",
+    "CoreResult", "RunResult", "System",
+    "SCHEMES", "SchemeOptions", "build_controller", "build_system",
+    "partition_for", "run_scheme",
+    "Sweep", "SweepPoint",
+]

@@ -1,0 +1,65 @@
+"""Simulation configuration (Table 1 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cpu.core_model import CoreParams
+from ..dram.timing import TimingParams, DDR3_1600_X4
+from ..mapping.address import Geometry
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Platform parameters shared by every scheme in a comparison."""
+
+    num_cores: int = 8
+    timing: TimingParams = DDR3_1600_X4
+    geometry: Geometry = field(default_factory=Geometry)
+    core: CoreParams = field(default_factory=CoreParams)
+    #: Memory accesses to synthesize per core.
+    accesses_per_core: int = 3000
+    #: Global seed offset for trace generation.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if self.accesses_per_core < 1:
+            raise ValueError("need at least one access per core")
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        """A copy scaled to a different core count with as many ranks as
+        cores (the Figure 10 sensitivity setup)."""
+        geometry = Geometry(
+            channels=self.geometry.channels,
+            ranks=max(num_cores, 1),
+            banks=self.geometry.banks,
+            rows=self.geometry.rows,
+            columns=self.geometry.columns,
+        )
+        return SystemConfig(
+            num_cores=num_cores,
+            timing=self.timing,
+            geometry=geometry,
+            core=self.core,
+            accesses_per_core=self.accesses_per_core,
+            seed=self.seed,
+        )
+
+
+#: Default configuration for the paper's main experiments.
+TABLE1_CONFIG = SystemConfig()
+
+
+def full_target_config(accesses_per_core: int = 300) -> SystemConfig:
+    """The paper's full target platform (Section 4.1): a 32-core
+    processor with four channels of eight ranks.  The paper's own
+    evaluation simulates one channel with eight cores for simulation
+    time; this configuration drives the whole machine."""
+    return SystemConfig(
+        num_cores=32,
+        geometry=Geometry(channels=4, ranks=8, banks=8),
+        accesses_per_core=accesses_per_core,
+    )

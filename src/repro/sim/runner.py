@@ -1,0 +1,251 @@
+"""High-level experiment runner: build and run named scheme comparisons.
+
+The scheme names match the paper's figures:
+
+=================  ====================================================
+name               design point
+=================  ====================================================
+``baseline``       non-secure FR-FCFS with write drain (open page)
+``fcfs``           strict FCFS, closed page (reference only)
+``tp_bp``          Temporal Partitioning, bank-partitioned
+``tp_np``          Temporal Partitioning, no spatial partitioning
+``fs_rp``          Fixed Service, rank partitioning (periodic data, l=7)
+``fs_bp``          Fixed Service, bank partitioning (periodic RAS, l=15)
+``fs_reordered_bp``Fixed Service, reordered bank partitioning (Q=63)
+``fs_np``          Fixed Service, no partitioning (l=43)
+``fs_np_ta``       Fixed Service, triple alternation (15-cycle slots)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..controllers.base import MemoryController
+from ..controllers.fcfs import FcfsController
+from ..controllers.frfcfs import FrFcfsController
+from ..controllers.tp import TemporalPartitioningController, \
+    default_dead_time, default_turn_length, min_turn_length
+from ..core.energy_opts import FsEnergyOptions
+from ..core.fs_controller import FixedServiceController
+from ..core.fs_reordered import ReorderedBpController
+from ..core.pipeline_solver import SharingLevel
+from ..core.schedule import build_fs_schedule, \
+    build_triple_alternation_schedule
+from ..cpu.core_model import Core
+from ..dram.system import DramSystem
+from ..mapping.partition import (
+    BankPartition,
+    NoPartition,
+    PartitionPolicy,
+    RankPartition,
+)
+from ..prefetch.sandbox import SandboxPrefetcher
+from ..workloads.synthetic import WorkloadSpec, generate_trace
+from .config import SystemConfig
+from .system import RunResult, System
+
+SCHEMES = (
+    "baseline", "fcfs", "channel_part", "tp_bp", "tp_np",
+    "fs_rp", "fs_rp_mc", "fs_bp", "fs_reordered_bp", "fs_np",
+    "fs_np_ta",
+)
+
+
+@dataclass
+class SchemeOptions:
+    """Per-scheme knobs used by the sensitivity benchmarks."""
+
+    turn_length: Optional[int] = None          # TP
+    energy: FsEnergyOptions = field(default_factory=FsEnergyOptions)
+    prefetch: bool = False                     # FS_RP / baseline
+    slots_per_domain: int = 1                  # FS "improving bandwidth"
+    #: Model DRAM refresh (baseline: demand-based; FS_RP: deterministic
+    #: clock-driven blackouts).  Off by default, like the paper's
+    #: pipeline analysis.
+    refresh: bool = False
+    #: Address-mapping field order for schemes without spatial
+    #: partitioning (the abstract's "various page mapping policies can
+    #: impact the throughput of our secure memory system").  None keeps
+    #: the open-page row-major default; e.g.
+    #: ``("row", "column", "rank", "channel", "bank")`` interleaves
+    #: consecutive lines across banks, which markedly helps triple
+    #: alternation's bank-class coverage.
+    address_order: Optional[tuple] = None
+    log_commands: bool = False
+
+
+def _channel_part_geometry(config: SystemConfig):
+    """One private channel per domain (Section 4.1, <= 4 threads).
+
+    The configured geometry is widened to ``num_cores`` channels while
+    keeping per-channel resources, so each domain owns a whole channel.
+    """
+    from ..mapping.address import Geometry
+
+    g = config.geometry
+    return Geometry(
+        channels=max(g.channels, config.num_cores),
+        ranks=g.ranks, banks=g.banks, rows=g.rows, columns=g.columns,
+    )
+
+
+def _refresh_for(config: SystemConfig, options: "SchemeOptions"):
+    """A refresh timetable when the options ask for one."""
+    if not options.refresh:
+        return None
+    from ..dram.refresh import RefreshScheduler
+
+    return RefreshScheduler(config.timing, config.geometry.ranks)
+
+
+def partition_for(
+    scheme: str,
+    config: SystemConfig,
+    options: Optional["SchemeOptions"] = None,
+) -> PartitionPolicy:
+    """The partition level each scheme assumes."""
+    if scheme == "channel_part":
+        from ..mapping.partition import ChannelPartition
+
+        return ChannelPartition(
+            _channel_part_geometry(config), config.num_cores
+        )
+    if scheme in ("fs_rp", "fs_rp_mc"):
+        return RankPartition(config.geometry, config.num_cores)
+    if scheme in ("fs_bp", "fs_reordered_bp", "tp_bp"):
+        return BankPartition(config.geometry, config.num_cores)
+    mapper = None
+    if options is not None and options.address_order is not None:
+        from ..mapping.address import AddressMapper
+
+        mapper = AddressMapper(config.geometry, options.address_order)
+    return NoPartition(config.geometry, config.num_cores, mapper=mapper)
+
+
+def build_controller(
+    scheme: str,
+    config: SystemConfig,
+    partition: PartitionPolicy,
+    options: SchemeOptions,
+) -> MemoryController:
+    """Instantiate the memory controller for a scheme name."""
+    dram = DramSystem(
+        config.timing,
+        num_channels=config.geometry.channels,
+        ranks_per_channel=config.geometry.ranks,
+        banks_per_rank=config.geometry.banks,
+    )
+    n = config.num_cores
+    if scheme == "channel_part":
+        # Private channels: a normal high-performance scheduler is
+        # secure because nothing is shared (Section 4.1).
+        geometry = _channel_part_geometry(config)
+        dram = DramSystem(
+            config.timing,
+            num_channels=geometry.channels,
+            ranks_per_channel=geometry.ranks,
+            banks_per_rank=geometry.banks,
+        )
+        return FrFcfsController(dram, n, log_commands=options.log_commands)
+    if scheme == "baseline":
+        return FrFcfsController(
+            dram, n,
+            refresh=_refresh_for(config, options),
+            log_commands=options.log_commands,
+        )
+    if scheme == "fcfs":
+        return FcfsController(dram, n, log_commands=options.log_commands)
+    if scheme in ("tp_bp", "tp_np"):
+        bank_partitioned = scheme == "tp_bp"
+        turn = options.turn_length or default_turn_length(
+            bank_partitioned
+        )
+        return TemporalPartitioningController(
+            dram, n, turn_length=turn,
+            bank_partitioned=bank_partitioned,
+            log_commands=options.log_commands,
+        )
+    if scheme == "fs_rp_mc":
+        from .multichannel import MultiChannelFsController
+
+        return MultiChannelFsController(
+            dram, partition, n, log_commands=options.log_commands
+        )
+    if scheme in ("fs_rp", "fs_bp", "fs_np"):
+        sharing = {
+            "fs_rp": SharingLevel.RANK,
+            "fs_bp": SharingLevel.BANK,
+            "fs_np": SharingLevel.NONE,
+        }[scheme]
+        schedule = build_fs_schedule(
+            config.timing, n, sharing,
+            slots_per_domain=options.slots_per_domain,
+        )
+        prefetchers = None
+        if options.prefetch:
+            prefetchers = {
+                d: SandboxPrefetcher(seed=d) for d in range(n)
+            }
+        refresh = None
+        if scheme == "fs_rp":
+            refresh = _refresh_for(config, options)
+        return FixedServiceController(
+            dram, schedule, partition,
+            energy_options=options.energy,
+            prefetchers=prefetchers,
+            refresh=refresh,
+            log_commands=options.log_commands,
+        )
+    if scheme == "fs_np_ta":
+        schedule = build_triple_alternation_schedule(config.timing, n)
+        return FixedServiceController(
+            dram, schedule, partition,
+            energy_options=options.energy,
+            log_commands=options.log_commands,
+        )
+    if scheme == "fs_reordered_bp":
+        return ReorderedBpController(
+            dram, partition, n,
+            energy_options=options.energy,
+            log_commands=options.log_commands,
+        )
+    raise ValueError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+
+
+def build_system(
+    scheme: str,
+    config: SystemConfig,
+    specs: Sequence[WorkloadSpec],
+    options: Optional[SchemeOptions] = None,
+) -> System:
+    """Assemble controller + partition + cores for one run."""
+    if len(specs) != config.num_cores:
+        raise ValueError("one workload spec per core required")
+    options = options or SchemeOptions()
+    partition = partition_for(scheme, config, options)
+    controller = build_controller(scheme, config, partition, options)
+    cores = [
+        Core(
+            domain=d,
+            trace=generate_trace(
+                spec, config.accesses_per_core, seed=config.seed + d
+            ),
+            params=config.core,
+        )
+        for d, spec in enumerate(specs)
+    ]
+    return System(controller, partition, cores, scheme=scheme)
+
+
+def run_scheme(
+    scheme: str,
+    config: SystemConfig,
+    specs: Sequence[WorkloadSpec],
+    options: Optional[SchemeOptions] = None,
+    max_cycles: int = 10_000_000,
+) -> RunResult:
+    """Build and run one scheme to completion."""
+    system = build_system(scheme, config, specs, options)
+    return system.run(max_cycles=max_cycles)

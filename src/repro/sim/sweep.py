@@ -1,0 +1,136 @@
+"""Parameter-sweep utilities for sensitivity studies.
+
+Thin orchestration over :mod:`repro.sim.runner`: run a grid of
+(scheme x workload x knob) simulations and collect the metric the paper
+plots.  Used by the Figure 5 / Figure 10 benchmarks and handy for ad-hoc
+exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..workloads.spec import suite_specs
+from .config import SystemConfig
+from .runner import SchemeOptions, run_scheme
+from .system import RunResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep grid."""
+
+    scheme: str
+    workload: str
+    cores: int
+    label: str
+    weighted_ipc: float
+    bus_utilization: float
+    mean_read_latency: float
+    energy_pj: float
+
+
+class Sweep:
+    """Run and tabulate a grid of simulations against a baseline."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        baseline_scheme: str = "baseline",
+        max_cycles: int = 8_000_000,
+    ) -> None:
+        self.config = config
+        self.baseline_scheme = baseline_scheme
+        self.max_cycles = max_cycles
+        self._baselines: Dict[Tuple[str, int], RunResult] = {}
+        self.points: List[SweepPoint] = []
+
+    def _baseline(self, workload: str, cores: int) -> RunResult:
+        key = (workload, cores)
+        if key not in self._baselines:
+            config = (
+                self.config if cores == self.config.num_cores
+                else self.config.with_cores(cores)
+            )
+            self._baselines[key] = run_scheme(
+                self.baseline_scheme, config,
+                suite_specs(workload, cores),
+                max_cycles=self.max_cycles,
+            )
+        return self._baselines[key]
+
+    def run_point(
+        self,
+        scheme: str,
+        workload: str,
+        cores: Optional[int] = None,
+        label: str = "",
+        options: Optional[SchemeOptions] = None,
+    ) -> SweepPoint:
+        """Run one cell and record it."""
+        cores = cores or self.config.num_cores
+        config = (
+            self.config if cores == self.config.num_cores
+            else self.config.with_cores(cores)
+        )
+        result = run_scheme(
+            scheme, config, suite_specs(workload, cores),
+            options, max_cycles=self.max_cycles,
+        )
+        baseline = self._baseline(workload, cores)
+        point = SweepPoint(
+            scheme=scheme,
+            workload=workload,
+            cores=cores,
+            label=label or scheme,
+            weighted_ipc=result.weighted_ipc(baseline),
+            bus_utilization=result.bus_utilization,
+            mean_read_latency=result.stats.mean_read_latency,
+            energy_pj=result.energy.total_pj,
+        )
+        self.points.append(point)
+        return point
+
+    def turn_length_sweep(
+        self,
+        workloads: Sequence[str],
+        turn_lengths: Sequence[int],
+        bank_partitioned: bool = True,
+    ) -> Dict[int, List[SweepPoint]]:
+        """The Figure 5 experiment for arbitrary grids."""
+        scheme = "tp_bp" if bank_partitioned else "tp_np"
+        out: Dict[int, List[SweepPoint]] = {}
+        for turn in turn_lengths:
+            out[turn] = [
+                self.run_point(
+                    scheme, wl,
+                    label=f"{scheme}_{turn}",
+                    options=SchemeOptions(turn_length=turn),
+                )
+                for wl in workloads
+            ]
+        return out
+
+    def core_count_sweep(
+        self,
+        schemes: Sequence[str],
+        workloads: Sequence[str],
+        core_counts: Sequence[int],
+    ) -> Dict[Tuple[str, int], List[SweepPoint]]:
+        """The Figure 10 experiment for arbitrary grids."""
+        out: Dict[Tuple[str, int], List[SweepPoint]] = {}
+        for scheme in schemes:
+            for cores in core_counts:
+                out[(scheme, cores)] = [
+                    self.run_point(scheme, wl, cores=cores)
+                    for wl in workloads
+                ]
+        return out
+
+    def mean(self, points: Iterable[SweepPoint],
+             metric: str = "weighted_ipc") -> float:
+        values = [getattr(p, metric) for p in points]
+        if not values:
+            raise ValueError("no points")
+        return sum(values) / len(values)

@@ -1,0 +1,186 @@
+"""System simulation: cores <-> memory controller <-> DRAM.
+
+:class:`System` owns a set of trace-driven cores, a partition policy (the
+OS page-coloring component) and one memory controller, and advances them
+together in event order:
+
+1. each core exposes at most one *undelivered* next request (requests are
+   emitted lazily, so memory use is bounded);
+2. the clock jumps to the earlier of the next request arrival and the
+   controller's next internal event;
+3. due requests are delivered, the controller advances, and completions
+   are pushed back into their cores, potentially unblocking new requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..controllers.base import MemoryController
+from ..cpu.core_model import Core
+from ..dram.commands import Request, RequestKind
+from ..dram.power import EnergyBreakdown, PowerModel
+from ..mapping.partition import PartitionPolicy
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of a run."""
+
+    domain: int
+    workload: str
+    instructions: int
+    reads_completed: int
+    ipc: float
+    done: bool
+    profile: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one simulation."""
+
+    scheme: str
+    cycles: int
+    cores: List[CoreResult]
+    stats: object  # ControllerStats
+    bus_utilization: float
+    energy: EnergyBreakdown
+    service_trace: Dict[int, List[Tuple[int, str]]]
+    #: FS accounting-only energy adjustments, when the controller has any.
+    adjustments: object = None
+
+    @property
+    def total_reads(self) -> int:
+        return sum(c.reads_completed for c in self.cores)
+
+    @property
+    def ipcs(self) -> List[float]:
+        return [c.ipc for c in self.cores]
+
+    def weighted_ipc(self, baseline: "RunResult") -> float:
+        """Sum of per-core IPCs normalized to a baseline run."""
+        total = 0.0
+        for mine, theirs in zip(self.cores, baseline.cores):
+            if theirs.ipc > 0:
+                total += mine.ipc / theirs.ipc
+        return total
+
+
+class System:
+    """One platform instance ready to run."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        partition: PartitionPolicy,
+        cores: Sequence[Core],
+        power_model: Optional[PowerModel] = None,
+        scheme: str = "unnamed",
+    ) -> None:
+        if len(cores) != controller.num_domains:
+            raise ValueError("one core per security domain required")
+        self.controller = controller
+        self.partition = partition
+        self.cores = list(cores)
+        self.scheme = scheme
+        self.power_model = power_model or PowerModel(
+            controller.params
+        )
+        self._staged: List[Optional[Request]] = [None] * len(self.cores)
+        self._core_index: Dict[int, int] = {
+            id(core): i for i, core in enumerate(self.cores)
+        }
+
+    # ------------------------------------------------------------------
+
+    def _pump(self, index: int) -> None:
+        """Refill the core's one-deep emission buffer if possible."""
+        if self._staged[index] is not None:
+            return
+        request = self.cores[index].try_emit()
+        if request is None:
+            return
+        request.address = self.partition.decode(
+            request.domain, request.line
+        )
+        self._staged[index] = request
+
+    def run(
+        self,
+        max_cycles: int = 10_000_000,
+        target_reads: Optional[int] = None,
+    ) -> RunResult:
+        """Simulate until every core finishes (or a bound is hit)."""
+        controller = self.controller
+        clock = 0
+        reads_done = 0
+        for i in range(len(self.cores)):
+            self._pump(i)
+        while True:
+            if all(core.done for core in self.cores):
+                break
+            if target_reads is not None and reads_done >= target_reads:
+                break
+            if clock >= max_cycles:
+                break
+            arrivals = [
+                r.arrival for r in self._staged if r is not None
+            ]
+            ctrl_next = controller.next_event()
+            candidates = list(arrivals)
+            if ctrl_next is not None:
+                candidates.append(ctrl_next)
+            if not candidates:
+                break  # deadlock guard: nothing can ever happen again
+            clock = max(clock + 1, min(candidates))
+            clock = min(clock, max_cycles)
+            delivered = True
+            while delivered:
+                delivered = False
+                for i, request in enumerate(self._staged):
+                    if request is None or request.arrival > clock:
+                        continue
+                    if not controller.can_accept(request.domain):
+                        continue  # back-pressure: core stalls here
+                    controller.enqueue(request)
+                    self._staged[i] = None
+                    self._pump(i)
+                    delivered = True
+            for request in controller.advance(clock):
+                if request.kind is not RequestKind.DEMAND:
+                    continue
+                core = request.core_tag
+                if isinstance(core, Core):
+                    core.on_complete(request, request.release)
+                    reads_done += 1
+                    self._pump(self._core_index[id(core)])
+        controller.finalize()
+        return self._collect(clock)
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, clock: int) -> RunResult:
+        core_results = []
+        for core in self.cores:
+            core_results.append(CoreResult(
+                domain=core.domain,
+                workload=core.trace.name,
+                instructions=core.retired_instructions(clock),
+                reads_completed=core.stat_reads_completed,
+                ipc=core.ipc(clock),
+                done=core.done,
+                profile=core.completion_profile(),
+            ))
+        energy = self.power_model.system_energy(self.controller.dram)
+        return RunResult(
+            scheme=self.scheme,
+            cycles=clock,
+            cores=core_results,
+            stats=self.controller.stats,
+            bus_utilization=self.controller.dram.bus_utilization(clock),
+            energy=energy,
+            service_trace=self.controller.service_trace,
+            adjustments=getattr(self.controller, "adjustments", None),
+        )

@@ -1,0 +1,35 @@
+"""Synthetic workloads standing in for the paper's SPEC2k6/NPB suite."""
+
+from .synthetic import (
+    LINES_PER_ROW,
+    WorkloadSpec,
+    generate_trace,
+    idle_spec,
+    intense_spec,
+)
+from .spec import (
+    EVALUATION_SUITE,
+    MIXES,
+    NPB,
+    SPEC2K6,
+    mix,
+    rate_mode,
+    suite_specs,
+    workload,
+)
+from .trace_io import (
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    round_trip_equal,
+)
+from .characterize import TraceProfile, calibration_error, characterize
+
+__all__ = [
+    "LINES_PER_ROW", "WorkloadSpec", "generate_trace",
+    "idle_spec", "intense_spec",
+    "EVALUATION_SUITE", "MIXES", "NPB", "SPEC2K6",
+    "mix", "rate_mode", "suite_specs", "workload",
+    "TraceFormatError", "dump_trace", "load_trace", "round_trip_equal",
+    "TraceProfile", "calibration_error", "characterize",
+]

@@ -1,0 +1,101 @@
+"""Trace characterization: measure what the generators promised.
+
+Computes the memory-visible features of a trace — the same features the
+synthetic generators are parameterized on — so calibration is checkable:
+``characterize(generate_trace(spec, n))`` should come back close to
+``spec``.  Also useful for characterizing imported real traces before
+running them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from ..cpu.trace import Trace
+from ..dram.commands import OpType
+from .synthetic import LINES_PER_ROW
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Measured memory-visible features of a trace."""
+
+    name: str
+    accesses: int
+    mpki: float
+    read_fraction: float
+    #: Fraction of accesses whose row was touched within the last
+    #: ``window`` accesses (streams interleave, so locality is windowed).
+    row_reuse: float
+    #: Distinct cache lines touched.
+    footprint_lines: int
+    #: Distinct DRAM rows touched.
+    footprint_rows: int
+    #: Fraction of reads marked dependent on the previous read.
+    dependent_fraction: float
+    #: Mean instruction gap between accesses.
+    mean_gap: float
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return (
+            f"{self.name}: {self.accesses} accesses, "
+            f"mpki {self.mpki:.1f}, reads {self.read_fraction:.0%}, "
+            f"row reuse {self.row_reuse:.0%}, "
+            f"footprint {self.footprint_lines} lines / "
+            f"{self.footprint_rows} rows, "
+            f"dependent {self.dependent_fraction:.0%}"
+        )
+
+
+def characterize(trace: Trace, reuse_window: int = 16) -> TraceProfile:
+    """Measure a trace's features."""
+    if len(trace) == 0:
+        raise ValueError("cannot characterize an empty trace")
+    if reuse_window < 1:
+        raise ValueError("reuse window must be positive")
+    reads = 0
+    dependent = 0
+    reused = 0
+    lines = set()
+    rows = set()
+    gaps = 0
+    recent: Deque[int] = deque(maxlen=reuse_window)
+    for record in trace:
+        row = record.line // LINES_PER_ROW
+        if row in recent:
+            reused += 1
+        recent.append(row)
+        lines.add(record.line)
+        rows.add(row)
+        gaps += record.gap
+        if record.op is OpType.READ:
+            reads += 1
+            if record.depends_on_prev:
+                dependent += 1
+    n = len(trace)
+    return TraceProfile(
+        name=trace.name,
+        accesses=n,
+        mpki=trace.mpki,
+        read_fraction=reads / n,
+        row_reuse=reused / n,
+        footprint_lines=len(lines),
+        footprint_rows=len(rows),
+        dependent_fraction=dependent / reads if reads else 0.0,
+        mean_gap=gaps / n,
+    )
+
+
+def calibration_error(profile: TraceProfile, spec) -> float:
+    """Worst relative error of the measurable spec features.
+
+    Compares MPKI and read fraction (the two features with exact spec
+    targets); used by the calibration tests.
+    """
+    mpki_err = abs(profile.mpki - spec.mpki) / spec.mpki
+    read_err = abs(profile.read_fraction - spec.read_fraction) / max(
+        spec.read_fraction, 1e-9
+    )
+    return max(mpki_err, read_err)

@@ -1,0 +1,174 @@
+"""Parametric synthetic workload generation.
+
+The paper drives its evaluation with SPEC2k6 / NPB checkpoints; offline we
+synthesize post-LLC traces whose *memory-visible* features match published
+characterizations of those programs: intensity (MPKI), read/write mix,
+row-buffer locality, working-set size, access regularity (streaming vs
+pointer-chasing) and load-dependence (MLP).  Those are the only features
+any of the schedulers in this repository react to.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dram.commands import OpType
+from ..cpu.trace import Trace, TraceRecord
+
+#: Cache lines per DRAM row in the default geometry (8 KB rows, 64 B lines).
+LINES_PER_ROW = 128
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The tunable features of one synthetic benchmark."""
+
+    name: str
+    #: Post-LLC memory accesses per kilo-instruction.
+    mpki: float
+    #: Fraction of accesses that are reads.
+    read_fraction: float = 0.7
+    #: Probability that an access stays in the current DRAM row
+    #: (sequential next line) rather than jumping to a random line.
+    row_locality: float = 0.5
+    #: Working set in cache lines.
+    working_set_lines: int = 1 << 20
+    #: Probability that a read depends on the previous read (limits MLP —
+    #: pointer chasing).
+    dependency_fraction: float = 0.0
+    #: Dispersion of the inter-burst instruction gaps: 0 = regular,
+    #: 1 = memoryless.
+    burstiness: float = 0.5
+    #: Mean memory accesses per burst.  Real programs cluster their
+    #: misses (several array streams touched per loop iteration), which
+    #: is what lets an out-of-order core expose memory-level parallelism
+    #: from a finite reorder buffer.
+    burst_length: float = 3.0
+    #: Non-memory instructions between accesses inside a burst.
+    intra_burst_gap: int = 2
+    #: Concurrent sequential streams (distinct arrays touched per loop
+    #: iteration); accesses rotate among them, so even a streaming
+    #: workload spreads across banks.
+    streams: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mpki <= 0:
+            raise ValueError("mpki must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not 0.0 <= self.row_locality <= 1.0:
+            raise ValueError("row_locality must be in [0, 1]")
+        if not 0.0 <= self.dependency_fraction <= 1.0:
+            raise ValueError("dependency_fraction must be in [0, 1]")
+        if self.working_set_lines < LINES_PER_ROW:
+            raise ValueError("working set must cover at least one row")
+        if self.burst_length < 1.0:
+            raise ValueError("burst_length must be >= 1")
+        if self.intra_burst_gap < 0:
+            raise ValueError("intra_burst_gap must be non-negative")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean non-memory instructions between accesses."""
+        return max(0.0, 1000.0 / self.mpki - 1.0)
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    accesses: int,
+    seed: int = 0,
+) -> Trace:
+    """Materialize ``accesses`` memory operations for ``spec``.
+
+    Deterministic for a given (spec, accesses, seed).
+    """
+    if accesses < 1:
+        raise ValueError("need at least one access")
+    rng = random.Random((hash(spec.name) & 0xFFFF) * 1_000_003 + seed)
+    records: List[TraceRecord] = []
+    cursors = [
+        rng.randrange(spec.working_set_lines) for _ in range(spec.streams)
+    ]
+    # Accesses arrive in bursts of ~burst_length with a short gap inside
+    # the burst; the inter-burst gap absorbs the rest of the instruction
+    # budget so overall MPKI matches the spec.
+    per_access_budget = 1000.0 / spec.mpki
+    inter_burst_mean = max(
+        0.0,
+        spec.burst_length * per_access_budget
+        - (spec.burst_length - 1) * (spec.intra_burst_gap + 1)
+        - 1,
+    )
+    remaining_in_burst = 0
+    for _ in range(accesses):
+        if remaining_in_burst <= 0:
+            remaining_in_burst = _draw_burst_length(
+                rng, spec.burst_length
+            )
+            gap = _draw_gap(rng, inter_burst_mean, spec.burstiness)
+        else:
+            gap = spec.intra_burst_gap
+        remaining_in_burst -= 1
+        is_read = rng.random() < spec.read_fraction
+        stream = rng.randrange(spec.streams)
+        if rng.random() < spec.row_locality:
+            # Next line of this stream's row (wrap at the row edge).
+            line = cursors[stream]
+            if (line + 1) % LINES_PER_ROW == 0:
+                line = line + 1 - LINES_PER_ROW
+            else:
+                line = line + 1
+        else:
+            line = rng.randrange(spec.working_set_lines)
+        cursors[stream] = line
+        depends = (
+            is_read and rng.random() < spec.dependency_fraction
+        )
+        records.append(TraceRecord(
+            gap=gap,
+            op=OpType.READ if is_read else OpType.WRITE,
+            line=line,
+            depends_on_prev=depends,
+        ))
+    return Trace(records, name=spec.name)
+
+
+def _draw_burst_length(rng: random.Random, mean: float) -> int:
+    """Draw a burst length with the requested mean (>= 1)."""
+    if mean <= 1.0:
+        return 1
+    return 1 + int(round(rng.expovariate(1.0 / (mean - 1.0))))
+
+
+def _draw_gap(rng: random.Random, mean: float, burstiness: float) -> int:
+    """Draw an instruction gap with the requested dispersion."""
+    if mean <= 0:
+        return 0
+    if burstiness <= 0:
+        return int(round(mean))
+    # Mix of a regular component and a geometric (memoryless) component.
+    geometric = rng.expovariate(1.0 / mean) if mean > 0 else 0.0
+    value = (1.0 - burstiness) * mean + burstiness * geometric
+    return max(0, int(round(value)))
+
+
+def idle_spec(name: str = "idle") -> WorkloadSpec:
+    """A synthetic thread that makes (almost) no memory accesses —
+    the Figure 4 'non-memory-intensive' co-runner."""
+    return WorkloadSpec(
+        name=name, mpki=0.05, read_fraction=1.0, row_locality=0.9,
+        working_set_lines=LINES_PER_ROW * 16,
+    )
+
+
+def intense_spec(name: str = "intense") -> WorkloadSpec:
+    """A maximally memory-intensive synthetic thread — the Figure 4
+    'memory-intensive' co-runner."""
+    return WorkloadSpec(
+        name=name, mpki=80.0, read_fraction=0.7, row_locality=0.1,
+        working_set_lines=1 << 20,
+    )

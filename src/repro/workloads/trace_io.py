@@ -1,0 +1,99 @@
+"""Trace file I/O (USIMM-compatible text format).
+
+Lets users bring real post-LLC traces instead of the synthetic
+generators.  The format is one record per line::
+
+    <gap> <R|W> <hex line address> [D]
+
+``gap`` is the number of non-memory instructions preceding the access,
+``R``/``W`` the direction, and the optional ``D`` marks a load that
+depends on the previous read (pointer chasing).  Lines starting with
+``#`` and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..dram.commands import OpType
+from ..cpu.trace import Trace, TraceRecord
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file line cannot be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(
+            f"line {line_number}: {reason}: {line.strip()!r}"
+        )
+        self.line_number = line_number
+
+
+def dump_trace(trace: Trace, target: Union[str, TextIO]) -> None:
+    """Write a trace in the text format."""
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            dump_trace(trace, handle)
+        return
+    target.write(f"# trace: {trace.name}\n")
+    target.write(f"# accesses: {len(trace)}  mpki: {trace.mpki:.2f}\n")
+    for record in trace:
+        op = "R" if record.op is OpType.READ else "W"
+        dep = " D" if record.depends_on_prev else ""
+        target.write(f"{record.gap} {op} 0x{record.line:x}{dep}\n")
+
+
+def load_trace(
+    source: Union[str, TextIO], name: str = None
+) -> Trace:
+    """Read a trace in the text format."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load_trace(handle, name or source)
+    records: List[TraceRecord] = []
+    for number, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) not in (3, 4):
+            raise TraceFormatError(number, line, "expected 3 or 4 fields")
+        try:
+            gap = int(parts[0])
+        except ValueError:
+            raise TraceFormatError(number, line, "bad gap") from None
+        if parts[1] not in ("R", "W"):
+            raise TraceFormatError(number, line, "direction must be R or W")
+        try:
+            addr = int(parts[2], 0)
+        except ValueError:
+            raise TraceFormatError(number, line, "bad address") from None
+        depends = False
+        if len(parts) == 4:
+            if parts[3] != "D":
+                raise TraceFormatError(
+                    number, line, "fourth field must be 'D'"
+                )
+            depends = True
+        try:
+            records.append(TraceRecord(
+                gap=gap,
+                op=OpType.READ if parts[1] == "R" else OpType.WRITE,
+                line=addr,
+                depends_on_prev=depends,
+            ))
+        except ValueError as exc:
+            raise TraceFormatError(number, line, str(exc)) from None
+    return Trace(records, name=name or "loaded")
+
+
+def round_trip_equal(a: Trace, b: Trace) -> bool:
+    """True when two traces carry identical records."""
+    if len(a) != len(b):
+        return False
+    return all(
+        (x.gap, x.op, x.line, x.depends_on_prev)
+        == (y.gap, y.op, y.line, y.depends_on_prev)
+        for x, y in zip(a, b)
+    )

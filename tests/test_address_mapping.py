@@ -1,0 +1,92 @@
+"""Unit and property tests for address mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.commands import Address
+from repro.mapping.address import FIELDS, AddressMapper, Geometry
+
+
+class TestGeometry:
+    def test_default_capacity(self):
+        g = Geometry()
+        assert g.lines_total == 1 * 8 * 8 * 65536 * 128
+        assert g.lines_per_bank == 65536 * 128
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            Geometry(ranks=0)
+
+    def test_size_lookup(self):
+        g = Geometry(channels=2, ranks=4, banks=8, rows=16, columns=32)
+        assert [g.size(f) for f in FIELDS] == [2, 4, 8, 16, 32]
+
+
+class TestMapper:
+    def test_consecutive_lines_same_row(self):
+        m = AddressMapper(Geometry())
+        a, b = m.decode(0), m.decode(1)
+        assert a.row == b.row and a.bank == b.bank and a.rank == b.rank
+        assert b.column == a.column + 1
+
+    def test_row_boundary_switches_channel_then_rank(self):
+        g = Geometry(channels=2)
+        m = AddressMapper(g)
+        a = m.decode(g.columns - 1)
+        b = m.decode(g.columns)
+        assert b.channel != a.channel or b.bank != a.bank \
+            or b.rank != a.rank
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapper(Geometry(), order=("row", "rank"))
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapper(Geometry()).decode(-1)
+
+    def test_encode_validates_ranges(self):
+        m = AddressMapper(Geometry())
+        with pytest.raises(ValueError):
+            m.encode(Address(0, 99, 0, 0, 0))
+
+    def test_wraps_modulo_capacity(self):
+        g = Geometry(channels=1, ranks=2, banks=2, rows=4, columns=4)
+        m = AddressMapper(g)
+        assert m.decode(g.lines_total + 3) == m.decode(3)
+
+
+SMALL = Geometry(channels=2, ranks=4, banks=4, rows=64, columns=16)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=SMALL.lines_total - 1))
+    @settings(max_examples=200)
+    def test_decode_encode_roundtrip(self, line):
+        m = AddressMapper(SMALL)
+        assert m.encode(m.decode(line)) == line
+
+    @given(
+        st.integers(min_value=0, max_value=SMALL.lines_total - 1),
+        st.permutations(list(FIELDS)),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_any_field_order(self, line, order):
+        m = AddressMapper(SMALL, order=order)
+        assert m.encode(m.decode(line)) == line
+
+    @given(st.integers(min_value=0, max_value=SMALL.lines_total - 1))
+    @settings(max_examples=100)
+    def test_decode_in_bounds(self, line):
+        a = AddressMapper(SMALL).decode(line)
+        assert 0 <= a.channel < SMALL.channels
+        assert 0 <= a.rank < SMALL.ranks
+        assert 0 <= a.bank < SMALL.banks
+        assert 0 <= a.row < SMALL.rows
+        assert 0 <= a.column < SMALL.columns
+
+    def test_decode_is_bijection_on_small_geometry(self):
+        g = Geometry(channels=1, ranks=2, banks=2, rows=4, columns=4)
+        m = AddressMapper(g)
+        seen = {m.encode(m.decode(i)) for i in range(g.lines_total)}
+        assert len(seen) == g.lines_total

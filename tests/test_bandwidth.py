@@ -1,0 +1,66 @@
+"""Tests for the bandwidth-latency characterization."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    bandwidth_latency_curve,
+    measure_load_point,
+    saturation_bandwidth,
+)
+from repro.sim.config import SystemConfig
+
+CFG = SystemConfig()
+FAST = dict(duration=8000, config=CFG)
+
+
+class TestLoadPoints:
+    def test_light_load_low_latency(self):
+        point = measure_load_point("baseline", 0.3, **FAST)
+        assert point.mean_latency < 100
+        assert point.completion > 0.95
+
+    def test_overload_explodes_latency(self):
+        light = measure_load_point("fs_rp", 0.5, **FAST)
+        heavy = measure_load_point("fs_rp", 3.0, **FAST)
+        assert heavy.mean_latency > 5 * light.mean_latency
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            measure_load_point("baseline", 0.0, **FAST)
+
+
+class TestSaturation:
+    def test_fs_rp_pinned_at_pipeline_peak(self):
+        """FS fills every slot (demand or dummy): utilization sits at
+        the 57% pipeline peak regardless of offered load."""
+        for load in (0.5, 2.5):
+            point = measure_load_point("fs_rp", load, **FAST)
+            assert point.utilization == pytest.approx(4 / 7, abs=0.02)
+
+    def test_baseline_saturates_higher_than_fs(self):
+        base = measure_load_point("baseline", 3.0, **FAST)
+        fs = measure_load_point("fs_rp", 3.0, **FAST)
+        assert base.utilization > fs.utilization
+
+    def test_reordered_bp_peak_is_51_percent(self):
+        point = measure_load_point("fs_reordered_bp", 3.0, **FAST)
+        assert point.utilization == pytest.approx(32 / 63, abs=0.02)
+
+    def test_curve_and_helper(self):
+        points = bandwidth_latency_curve(
+            "baseline", loads=(0.5, 2.0), **FAST
+        )
+        assert len(points) == 2
+        assert saturation_bandwidth(points) == max(
+            p.utilization for p in points
+        )
+        with pytest.raises(ValueError):
+            saturation_bandwidth([])
+
+    def test_fs_knee_at_slot_rate(self):
+        """The latency knee sits at the per-domain slot rate
+        (1 request / 56 cycles = ~1.79 per 100)."""
+        below = measure_load_point("fs_rp", 1.5, **FAST)
+        above = measure_load_point("fs_rp", 2.2, **FAST)
+        assert below.mean_latency < 200
+        assert above.mean_latency > 400

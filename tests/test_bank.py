@@ -1,0 +1,112 @@
+"""Unit tests for the per-bank DRAM state machine."""
+
+import pytest
+
+from repro.dram.bank import Bank, TimingViolation
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import DDR3_1600_X4
+
+P = DDR3_1600_X4
+
+
+def act(cycle, bank=0, row=5, rank=0):
+    return Command(CommandType.ACTIVATE, cycle, 0, rank, bank, row)
+
+
+def col(cycle, type_=CommandType.COL_READ, bank=0, row=5, rank=0):
+    return Command(type_, cycle, 0, rank, bank, row)
+
+
+def pre(cycle, bank=0, rank=0):
+    return Command(CommandType.PRECHARGE, cycle, 0, rank, bank)
+
+
+@pytest.fixture
+def bank():
+    return Bank(P)
+
+
+class TestActivate:
+    def test_opens_row(self, bank):
+        bank.apply(act(0))
+        assert bank.is_open and bank.open_row == 5
+
+    def test_trc_between_activates(self, bank):
+        bank.apply(act(0))
+        bank.apply(pre(P.tRAS))
+        assert bank.earliest_activate(0) == P.tRC  # tRAS + tRP = tRC
+
+    def test_early_second_activate_rejected(self, bank):
+        bank.apply(act(0))
+        bank.apply(pre(P.tRAS))
+        with pytest.raises(TimingViolation):
+            bank.apply(act(P.tRC - 1, row=6))
+
+    def test_counts_activates(self, bank):
+        bank.apply(act(0))
+        assert bank.stat_activates == 1
+
+
+class TestColumn:
+    def test_column_waits_for_trcd(self, bank):
+        bank.apply(act(0))
+        assert bank.earliest_column(0, True) == P.tRCD
+
+    def test_column_to_closed_bank_raises(self, bank):
+        with pytest.raises(RuntimeError):
+            bank.earliest_column(0, True)
+
+    def test_early_column_rejected(self, bank):
+        bank.apply(act(0))
+        with pytest.raises(TimingViolation):
+            bank.apply(col(P.tRCD - 1))
+
+    def test_row_hit_detection(self, bank):
+        bank.apply(act(0, row=7))
+        assert bank.is_row_hit(7)
+        assert not bank.is_row_hit(8)
+
+
+class TestAutoPrecharge:
+    def test_read_ap_closes_row(self, bank):
+        bank.apply(act(0))
+        bank.apply(col(P.tRCD, CommandType.COL_READ_AP))
+        assert not bank.is_open
+
+    def test_read_ap_waits_for_tras(self, bank):
+        bank.apply(act(0))
+        bank.apply(col(P.tRCD, CommandType.COL_READ_AP))
+        # Auto precharge cannot engage before tRAS; next activate waits
+        # a full tRC after the original activate.
+        assert bank.earliest_activate(0) >= P.tRC
+
+    def test_write_ap_recovery(self, bank):
+        bank.apply(act(0))
+        bank.apply(col(P.tRCD, CommandType.COL_WRITE_AP))
+        # Precharge engages after write recovery: col + tCWD + tBURST +
+        # tWR, then tRP before the next activate.
+        expected = P.tRCD + P.tCWD + P.tBURST + P.tWR + P.tRP
+        assert bank.earliest_activate(0) == max(expected, P.tRC)
+
+
+class TestPrecharge:
+    def test_precharge_waits_for_tras(self, bank):
+        bank.apply(act(0))
+        assert bank.earliest_precharge(0) == P.tRAS
+
+    def test_early_precharge_rejected(self, bank):
+        bank.apply(act(0))
+        with pytest.raises(TimingViolation):
+            bank.apply(pre(P.tRAS - 1))
+
+    def test_read_pushes_precharge(self, bank):
+        bank.apply(act(0))
+        bank.apply(col(P.tRCD))
+        assert bank.earliest_precharge(0) >= P.tRCD + P.tRTP
+
+
+class TestRefresh:
+    def test_refresh_blocks_bank_for_trfc(self, bank):
+        ref = Command(CommandType.REFRESH, 100, 0, 0)
+        bank.apply(ref)
+        assert bank.earliest_activate(0) == 100 + P.tRFC

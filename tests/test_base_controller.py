@@ -1,0 +1,95 @@
+"""Tests for the shared controller framework (ControllerStats, base)."""
+
+import pytest
+
+from repro.controllers.base import ControllerStats, MemoryController
+from repro.controllers.fcfs import FcfsController
+from repro.dram.commands import Address, OpType, Request, RequestKind
+from repro.dram.system import DramSystem
+from repro.dram.timing import DDR3_1600_X4
+
+
+def req(op=OpType.READ, kind=RequestKind.DEMAND, arrival=0):
+    return Request(op=op, address=Address(0, 0, 0, 0, 0), kind=kind,
+                   arrival=arrival)
+
+
+class TestControllerStats:
+    def test_service_classification(self):
+        stats = ControllerStats()
+        stats.record_service(req())
+        stats.record_service(req(op=OpType.WRITE))
+        stats.record_service(req(kind=RequestKind.DUMMY))
+        stats.record_service(req(kind=RequestKind.PREFETCH))
+        assert stats.demand_reads == 1
+        assert stats.demand_writes == 1
+        assert stats.dummies == 1
+        assert stats.prefetches == 1
+        assert stats.serviced == 4
+
+    def test_fractions(self):
+        stats = ControllerStats()
+        assert stats.dummy_fraction == 0.0
+        assert stats.prefetch_fraction == 0.0
+        stats.record_service(req())
+        stats.record_service(req(kind=RequestKind.DUMMY))
+        assert stats.dummy_fraction == 0.5
+
+    def test_latency_only_counts_demand_reads(self):
+        stats = ControllerStats()
+        r = req(arrival=10)
+        r.release = 110
+        stats.record_release(r)
+        w = req(op=OpType.WRITE, arrival=0)
+        w.release = 50
+        stats.record_release(w)
+        dummy = req(kind=RequestKind.DUMMY, arrival=0)
+        dummy.release = 30
+        stats.record_release(dummy)
+        assert stats.read_count == 1
+        assert stats.mean_read_latency == 100.0
+
+
+class TestBaseBehaviour:
+    def test_time_cannot_go_backwards(self):
+        ctrl = FcfsController(DramSystem(DDR3_1600_X4), 1)
+        ctrl.advance(100)
+        with pytest.raises(ValueError):
+            ctrl.advance(50)
+
+    def test_needs_a_domain(self):
+        with pytest.raises(ValueError):
+            FcfsController(DramSystem(DDR3_1600_X4), 0)
+
+    def test_drain_deadline(self):
+        ctrl = FcfsController(DramSystem(DDR3_1600_X4), 1)
+        assert ctrl.drain_deadline() is None
+        request = req()
+        ctrl.enqueue(request)
+        ctrl.advance(1)  # issues ACT+COL, schedules the release
+        assert ctrl.drain_deadline() is not None
+
+    def test_releases_drain_in_time_order(self):
+        ctrl = FcfsController(DramSystem(DDR3_1600_X4), 1)
+        a = Request(op=OpType.READ, address=Address(0, 0, 0, 1, 0),
+                    arrival=0, line=1)
+        b = Request(op=OpType.READ, address=Address(0, 0, 1, 1, 0),
+                    arrival=0, line=2)
+        ctrl.enqueue(a)
+        ctrl.enqueue(b)
+        released = ctrl.advance(2000)
+        assert [r.line for r in released] == [1, 2]
+        assert released[0].release <= released[1].release
+
+    def test_service_trace_recorded_per_domain(self):
+        ctrl = FcfsController(DramSystem(DDR3_1600_X4), 2)
+        ctrl.enqueue(Request(op=OpType.READ,
+                             address=Address(0, 0, 0, 0, 0),
+                             domain=1, arrival=0))
+        ctrl.advance(2000)
+        assert ctrl.service_trace[1]
+        assert not ctrl.service_trace[0]
+
+    def test_name(self):
+        ctrl = FcfsController(DramSystem(DDR3_1600_X4), 1)
+        assert ctrl.name == "FcfsController"

@@ -1,0 +1,124 @@
+"""Tests for the cache model and post-LLC trace filtering."""
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.hierarchy import CacheHierarchy, filter_trace
+from repro.dram.commands import OpType
+
+
+class TestCacheConfig:
+    def test_sets(self):
+        assert CacheConfig("L1", 512, 2).sets == 256
+
+    def test_rejects_uneven_ways(self):
+        with pytest.raises(ValueError):
+            CacheConfig("x", 10, 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            CacheConfig("x", 0, 1)
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        c = Cache(CacheConfig("t", 16, 4))
+        assert not c.access(5, False).hit
+        assert c.access(5, False).hit
+
+    def test_lru_eviction(self):
+        c = Cache(CacheConfig("t", 4, 4))  # one set
+        for line in range(4):
+            c.access(line, False)
+        c.access(0, False)          # refresh line 0
+        c.access(99, False)         # evicts line 1 (LRU)
+        assert c.contains(0)
+        assert not c.contains(1)
+
+    def test_dirty_eviction_writes_back(self):
+        c = Cache(CacheConfig("t", 4, 4))
+        c.access(1, True)
+        for line in (2, 3, 4, 5):
+            outcome = c.access(line, False)
+        assert c.stat_writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache(CacheConfig("t", 4, 4))
+        for line in range(5):
+            c.access(line, False)
+        assert c.stat_writebacks == 0
+
+    def test_write_marks_dirty_on_hit(self):
+        c = Cache(CacheConfig("t", 4, 4))
+        c.access(7, False)
+        c.access(7, True)
+        for line in (8, 9, 10, 11):
+            c.access(line, False)
+        assert c.stat_writebacks == 1
+
+    def test_hit_rate(self):
+        c = Cache(CacheConfig("t", 16, 4))
+        c.access(1, False)
+        c.access(1, False)
+        assert c.hit_rate == 0.5
+
+    def test_negative_line_rejected(self):
+        c = Cache(CacheConfig("t", 16, 4))
+        with pytest.raises(ValueError):
+            c.access(-1, False)
+
+
+class TestHierarchy:
+    def test_l1_hit_no_memory(self):
+        h = CacheHierarchy()
+        h.access(42, False)
+        assert h.access(42, False) == []
+
+    def test_cold_miss_goes_to_memory(self):
+        h = CacheHierarchy()
+        out = h.access(42, False)
+        assert (OpType.READ, 42) in out
+
+    def test_l2_caches_for_l1_evictions(self):
+        small_l1 = CacheConfig("L1", 4, 2)
+        h = CacheHierarchy(l1=small_l1)
+        h.access(0, False)
+        for line in range(2, 40, 2):  # blow out L1, not L2
+            h.access(line, False)
+        assert h.access(0, False) == []  # L2 still holds it
+
+    def test_stats(self):
+        h = CacheHierarchy()
+        h.access(1, False)
+        h.access(1, False)
+        s = h.stats()
+        assert s.memory_reads == 1
+        assert 0 < s.l1_hit_rate <= 1
+
+
+class TestFilterTrace:
+    def test_hot_loop_filters_out(self):
+        raw = [(10, line % 8, False) for line in range(1000)]
+        trace = filter_trace(raw)
+        assert len(trace) <= 8  # only cold misses survive
+
+    def test_streaming_passes_through(self):
+        raw = [(10, line * 64, False) for line in range(200)]
+        trace = filter_trace(raw)
+        assert len(trace) == 200
+
+    def test_gaps_accumulate_across_hits(self):
+        raw = [(10, 0, False), (10, 0, False), (10, 64, False)]
+        trace = filter_trace(raw)
+        # First access misses; second hits (gap absorbed); third misses
+        # with the accumulated gap.
+        assert len(trace) == 2
+        assert trace[1].gap >= 20
+
+    def test_writebacks_become_memory_writes(self):
+        small = CacheHierarchy(
+            l1=CacheConfig("L1", 4, 2), l2=CacheConfig("L2", 8, 2)
+        )
+        raw = [(1, line * 64, True) for line in range(50)]
+        trace = filter_trace(raw, hierarchy=small)
+        assert trace.writes > 0

@@ -1,0 +1,130 @@
+"""Unit tests for the channel: shared command and data buses."""
+
+import pytest
+
+from repro.dram.bank import TimingViolation
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import DDR3_1600_X4
+
+P = DDR3_1600_X4
+
+
+@pytest.fixture
+def channel():
+    return Channel(P, num_ranks=8, num_banks=8)
+
+
+def act(cycle, rank=0, bank=0, row=5):
+    return Command(CommandType.ACTIVATE, cycle, 0, rank, bank, row)
+
+
+def rd(cycle, rank=0, bank=0, row=5):
+    return Command(CommandType.COL_READ_AP, cycle, 0, rank, bank, row)
+
+
+class TestCommandBus:
+    def test_one_command_per_cycle(self, channel):
+        channel.issue(act(0, rank=0))
+        with pytest.raises(TimingViolation):
+            channel.issue(act(0, rank=1))
+
+    def test_next_free_cycle_skips_reservations(self, channel):
+        channel.issue(act(0, rank=0))
+        assert channel.next_free_cmd_cycle(0) == 1
+
+    def test_different_cycles_ok(self, channel):
+        channel.issue(act(0, rank=0))
+        channel.issue(act(1, rank=1))
+        assert channel.stat_commands == 2
+
+
+class TestDataBus:
+    def test_read_reserves_data_bus(self, channel):
+        channel.issue(act(0))
+        start = channel.issue(rd(P.tRCD))
+        assert start == P.tRCD + P.tCAS
+
+    def test_same_rank_back_to_back(self, channel):
+        channel.issue(act(0, bank=0))
+        channel.issue(act(P.tRRD, bank=1))
+        channel.issue(rd(P.tRCD, bank=0))
+        # Same rank: the second column is bounded by its own bank's tRCD
+        # (from the activate at tRRD), which exceeds the tCCD gap here.
+        t2 = channel.earliest_column(0, 0, 1, True)
+        assert t2 == max(P.tRCD + P.tCCD, P.tRRD + P.tRCD)
+
+    def test_cross_rank_needs_trtrs(self, channel):
+        channel.issue(act(0, rank=0))
+        channel.issue(act(1, rank=1))
+        channel.issue(rd(P.tRCD, rank=0))
+        t2 = channel.earliest_column(0, 1, 0, True)
+        # Data of rank 1 must trail rank 0's burst by tBURST + tRTRS.
+        assert t2 + P.tCAS >= (P.tRCD + P.tCAS) + P.tBURST + P.tRTRS
+
+    def test_data_conflict_detection(self, channel):
+        channel.issue(act(0))
+        channel.issue(rd(P.tRCD))
+        data_at = P.tRCD + P.tCAS
+        assert channel.data_conflict(data_at, rank=1)
+        assert channel.data_conflict(data_at + 2, rank=0)
+        assert not channel.data_conflict(data_at + P.tBURST, rank=0)
+
+    def test_direct_data_conflict_raises(self, channel):
+        channel.issue(act(0, rank=0))
+        channel.issue(act(1, rank=1))
+        channel.issue(rd(P.tRCD, rank=0))
+        with pytest.raises(TimingViolation):
+            # Same column cycle is a command-bus conflict; one later
+            # collides on the data bus instead.
+            channel.issue(rd(P.tRCD + 1, rank=1))
+
+
+class TestEarliestQueries:
+    def test_earliest_activate_respects_cmd_bus(self, channel):
+        channel.issue(act(0, rank=0))
+        assert channel.earliest_activate(0, 1, 0) == 1
+
+    def test_earliest_column_aligns_to_data_slot(self, channel):
+        channel.issue(act(0, rank=0))
+        channel.issue(act(1, rank=1))
+        channel.issue(rd(P.tRCD, rank=0))
+        t = channel.earliest_column(0, 1, 0, True)
+        # Issuing at the reported time must not raise.
+        channel.issue(rd(t, rank=1))
+
+    def test_queries_are_pure(self, channel):
+        channel.issue(act(0))
+        before = channel.stat_commands
+        channel.earliest_column(0, 0, 0, True)
+        channel.earliest_activate(0, 1, 0)
+        channel.earliest_precharge(0, 0, 0)
+        assert channel.stat_commands == before
+
+
+class TestUtilization:
+    def test_data_cycles_accumulate(self, channel):
+        channel.issue(act(0))
+        channel.issue(rd(P.tRCD))
+        assert channel.stat_data_cycles == P.tBURST
+
+    def test_bus_utilization(self, channel):
+        channel.issue(act(0))
+        channel.issue(rd(P.tRCD))
+        assert channel.bus_utilization(40) == P.tBURST / 40
+        assert channel.bus_utilization(0) == 0.0
+
+
+class TestPrune:
+    def test_prune_keeps_schedulability(self, channel):
+        channel.issue(act(0))
+        channel.issue(rd(P.tRCD))
+        channel.prune(1000)
+        # Old reservations gone; new work can proceed at any cycle.
+        t = channel.earliest_activate(1000, 0, 0)
+        channel.issue(act(t))
+
+    def test_wrong_channel_rejected(self, channel):
+        cmd = Command(CommandType.ACTIVATE, 0, 3, 0, 0, 5)
+        with pytest.raises(ValueError):
+            channel.issue(cmd)

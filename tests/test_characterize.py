@@ -1,0 +1,82 @@
+"""Tests for trace characterization and generator calibration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.trace import Trace, TraceRecord
+from repro.dram.commands import OpType
+from repro.workloads.characterize import (
+    calibration_error,
+    characterize,
+)
+from repro.workloads.spec import EVALUATION_SUITE, MIXES, workload
+from repro.workloads.synthetic import WorkloadSpec, generate_trace
+
+
+class TestCharacterize:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            characterize(Trace([]))
+
+    def test_counts(self):
+        trace = Trace([
+            TraceRecord(10, OpType.READ, 0),
+            TraceRecord(5, OpType.WRITE, 1),
+            TraceRecord(0, OpType.READ, 0, depends_on_prev=True),
+        ])
+        profile = characterize(trace)
+        assert profile.accesses == 3
+        assert profile.read_fraction == pytest.approx(2 / 3)
+        assert profile.dependent_fraction == pytest.approx(0.5)
+        assert profile.footprint_lines == 2
+        assert profile.mean_gap == pytest.approx(5.0)
+
+    def test_row_reuse_windowed(self):
+        # Same row every access -> full reuse (after the first).
+        trace = Trace([
+            TraceRecord(0, OpType.READ, i % 4) for i in range(100)
+        ])
+        profile = characterize(trace)
+        assert profile.row_reuse > 0.95
+        assert profile.footprint_rows == 1
+
+
+class TestGeneratorCalibration:
+    """Every benchmark's generated trace must match its spec."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [w for w in EVALUATION_SUITE if w not in MIXES],
+    )
+    def test_suite_benchmarks_calibrated(self, name):
+        spec = workload(name)
+        trace = generate_trace(spec, 4000, seed=5)
+        profile = characterize(trace)
+        assert calibration_error(profile, spec) < 0.2, str(profile)
+
+    def test_row_locality_ordering(self):
+        streaming = characterize(
+            generate_trace(workload("libquantum"), 3000, seed=1)
+        )
+        pointer = characterize(
+            generate_trace(workload("mcf"), 3000, seed=1)
+        )
+        assert streaming.row_reuse > pointer.row_reuse + 0.3
+
+    def test_dependence_ordering(self):
+        chase = characterize(
+            generate_trace(workload("mcf"), 3000, seed=2)
+        )
+        stream = characterize(
+            generate_trace(workload("lbm"), 3000, seed=2)
+        )
+        assert chase.dependent_fraction > 0.4
+        assert stream.dependent_fraction < 0.05
+
+    @given(st.sampled_from(["milc", "mcf", "SP", "CG"]),
+           st.integers(0, 5))
+    @settings(max_examples=12, deadline=None)
+    def test_calibration_stable_across_seeds(self, name, seed):
+        spec = workload(name)
+        trace = generate_trace(spec, 3000, seed=seed)
+        assert calibration_error(characterize(trace), spec) < 0.25

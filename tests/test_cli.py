@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_scheme_and_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "warp", "mcf"])
+
+
+class TestCommands:
+    def test_solve(self, capsys):
+        assert main(["solve"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "7" in out
+        assert "Q=56" in out
+
+    def test_run(self, capsys):
+        assert main([
+            "run", "fs_rp", "xalancbmk", "--accesses", "80",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bus utilization" in out
+        assert "dummy fraction" in out
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "xalancbmk", "fs_rp", "--accesses", "80",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "fs_rp" in out
+
+    def test_audit_fs_passes(self, capsys):
+        assert main([
+            "audit", "fs_rp", "--workload", "xalancbmk",
+            "--accesses", "80",
+        ]) == 0
+        assert "NON-INTERFERING" in capsys.readouterr().out
+
+    def test_audit_baseline_fails(self, capsys):
+        assert main([
+            "audit", "baseline", "--workload", "mcf",
+            "--accesses", "200",
+        ]) == 1
+        assert "LEAKS" in capsys.readouterr().out
+
+    def test_covert_fs(self, capsys):
+        assert main(["covert", "fs_rp", "--accesses", "80"]) == 0
+        assert "bit error rate" in capsys.readouterr().out

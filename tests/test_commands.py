@@ -1,0 +1,89 @@
+"""Unit tests for command and request types."""
+
+import pytest
+
+from repro.dram.commands import (
+    Address,
+    Command,
+    CommandType,
+    OpType,
+    Request,
+    RequestKind,
+)
+
+
+class TestCommandType:
+    def test_column_classification(self):
+        assert CommandType.COL_READ.is_column
+        assert CommandType.COL_WRITE_AP.is_column
+        assert not CommandType.ACTIVATE.is_column
+        assert not CommandType.PRECHARGE.is_column
+
+    def test_read_write_classification(self):
+        assert CommandType.COL_READ.is_read
+        assert CommandType.COL_READ_AP.is_read
+        assert not CommandType.COL_WRITE.is_read
+        assert CommandType.COL_WRITE.is_write
+        assert CommandType.COL_WRITE_AP.is_write
+        assert not CommandType.ACTIVATE.is_read
+
+    def test_auto_precharge_flag(self):
+        assert CommandType.COL_READ_AP.auto_precharge
+        assert CommandType.COL_WRITE_AP.auto_precharge
+        assert not CommandType.COL_READ.auto_precharge
+
+
+class TestAddress:
+    def test_same_bank(self):
+        a = Address(0, 1, 2, 3, 4)
+        b = Address(0, 1, 2, 9, 9)
+        c = Address(0, 1, 3, 3, 4)
+        assert a.same_bank(b)
+        assert not a.same_bank(c)
+
+    def test_same_rank(self):
+        a = Address(0, 1, 2, 3, 4)
+        assert a.same_rank(Address(0, 1, 7, 0, 0))
+        assert not a.same_rank(Address(0, 2, 2, 3, 4))
+        assert not a.same_rank(Address(1, 1, 2, 3, 4))
+
+    def test_bank_key(self):
+        assert Address(1, 2, 3, 4, 5).bank_key() == (1, 2, 3)
+
+
+class TestRequest:
+    def test_unique_ids(self):
+        a = Request(OpType.READ, Address(0, 0, 0, 0, 0))
+        b = Request(OpType.READ, Address(0, 0, 0, 0, 0))
+        assert a.req_id != b.req_id
+
+    def test_is_read(self):
+        assert Request(OpType.READ, Address(0, 0, 0, 0, 0)).is_read
+        assert not Request(OpType.WRITE, Address(0, 0, 0, 0, 0)).is_read
+
+    def test_latency_requires_release(self):
+        r = Request(OpType.READ, Address(0, 0, 0, 0, 0), arrival=10)
+        assert r.latency is None
+        r.release = 110
+        assert r.latency == 100
+
+    def test_default_kind_is_demand(self):
+        r = Request(OpType.READ, Address(0, 0, 0, 0, 0))
+        assert r.kind is RequestKind.DEMAND
+
+
+class TestCommand:
+    def test_rejects_negative_cycle(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.ACTIVATE, -1, 0, 0)
+
+    def test_frozen(self):
+        cmd = Command(CommandType.ACTIVATE, 5, 0, 0)
+        with pytest.raises(Exception):
+            cmd.cycle = 6  # type: ignore[misc]
+
+
+class TestOpType:
+    def test_read_flag(self):
+        assert OpType.READ.is_read
+        assert not OpType.WRITE.is_read

@@ -1,0 +1,181 @@
+"""Tests for the event-driven ROB core model."""
+
+import pytest
+
+from repro.cpu.core_model import Core, CoreParams
+from repro.cpu.trace import Trace, TraceRecord
+from repro.dram.commands import OpType
+
+
+def trace(*records):
+    return Trace(records, name="test")
+
+
+def read(gap=0, line=0, dep=False):
+    return TraceRecord(gap=gap, op=OpType.READ, line=line,
+                       depends_on_prev=dep)
+
+
+def write(gap=0, line=0):
+    return TraceRecord(gap=gap, op=OpType.WRITE, line=line)
+
+
+class TestEmission:
+    def test_emits_in_trace_order(self):
+        core = Core(0, trace(read(line=1), read(line=2), read(line=3)))
+        lines = []
+        for _ in range(3):
+            req = core.try_emit()
+            lines.append(req.line)
+            core.on_complete(req, req.arrival + 30)
+        assert lines == [1, 2, 3]
+
+    def test_arrival_reflects_gap(self):
+        params = CoreParams(rob_size=64, width=4, cpu_per_mem_cycle=4)
+        core = Core(0, trace(read(gap=160, line=1)), params)
+        req = core.try_emit()
+        # 160 instructions at 16 per mem cycle = 10 mem cycles.
+        assert req.arrival == 10
+
+    def test_write_is_posted(self):
+        core = Core(0, trace(write(line=1), read(line=2)))
+        w = core.try_emit()
+        assert w.op is OpType.WRITE
+        r = core.try_emit()  # no completion needed in between
+        assert r.op is OpType.READ
+
+    def test_done_after_trace_and_completions(self):
+        core = Core(0, trace(read(line=1)))
+        req = core.try_emit()
+        assert not core.done
+        core.on_complete(req, 50)
+        assert core.done
+
+
+class TestRobGating:
+    def test_window_limits_outstanding_reads(self):
+        params = CoreParams(rob_size=8, width=4)
+        # Reads every 4 instructions: at most ~2 fit in an 8-entry ROB.
+        records = [read(gap=3, line=i) for i in range(10)]
+        core = Core(0, trace(*records), params)
+        emitted = []
+        while True:
+            req = core.try_emit()
+            if req is None:
+                break
+            emitted.append(req)
+        assert 1 <= len(emitted) <= 3
+
+    def test_completion_unblocks(self):
+        params = CoreParams(rob_size=8, width=4)
+        records = [read(gap=3, line=i) for i in range(10)]
+        core = Core(0, trace(*records), params)
+        first = core.try_emit()
+        while core.try_emit() is not None:
+            pass
+        assert core.blocked
+        core.on_complete(first, 100)
+        assert core.try_emit() is not None
+
+    def test_memory_latency_slows_retirement(self):
+        params = CoreParams(rob_size=8, width=4)
+        records = [read(gap=7, line=i) for i in range(20)]
+        finish = {}
+        for latency in (20, 200):
+            core = Core(0, trace(*records), params)
+            clock = 0
+            while not core.done:
+                req = core.try_emit()
+                if req is None:
+                    oldest = core._reads[0].request
+                    clock = max(clock, oldest.arrival) + latency
+                    core.on_complete(oldest, clock)
+            assert core.stat_reads_completed == 20
+            finish[latency] = clock
+        assert finish[200] > finish[20]
+
+
+class TestDependencies:
+    def test_dependent_load_waits_for_producer(self):
+        core = Core(0, trace(read(line=1), read(line=2, dep=True)))
+        first = core.try_emit()
+        assert core.try_emit() is None  # blocked on producer
+        core.on_complete(first, 100)
+        second = core.try_emit()
+        assert second is not None
+        # Dependent load cannot be sent before the producer returned.
+        assert second.arrival >= 100
+
+    def test_independent_loads_overlap(self):
+        core = Core(0, trace(read(line=1), read(line=2)))
+        a = core.try_emit()
+        b = core.try_emit()
+        assert a is not None and b is not None
+        assert b.arrival <= a.arrival + 1  # both in flight immediately
+
+
+class TestMetrics:
+    def _run_fixed_latency(self, records, latency=30,
+                           params=CoreParams()):
+        core = Core(0, trace(*records), params)
+        inflight = []
+        clock = 0
+        while not core.done:
+            req = core.try_emit()
+            if req is not None:
+                inflight.append(req)
+                continue
+            # Complete the oldest outstanding read.
+            req = inflight.pop(0)
+            done_at = max(clock, req.arrival) + latency
+            clock = done_at
+            core.on_complete(req, done_at)
+        return core, clock
+
+    def test_retired_instructions_monotone(self):
+        records = [read(gap=10, line=i) for i in range(30)]
+        core, end = self._run_fixed_latency(records)
+        values = [core.retired_instructions(t) for t in range(0, end + 10)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_all_instructions_retire(self):
+        records = [read(gap=10, line=i) for i in range(30)]
+        core, end = self._run_fixed_latency(records)
+        total = sum(r.instructions for r in records)
+        assert core.retired_instructions(end + 100) == total
+
+    def test_ipc_decreases_with_latency(self):
+        records = [read(gap=10, line=i % 7) for i in range(50)]
+        ipcs = {}
+        for latency in (10, 300):
+            core, end = self._run_fixed_latency(records, latency)
+            ipcs[latency] = core.ipc(end)
+        assert ipcs[10] > ipcs[300] > 0
+
+    def test_completion_profile_milestones(self):
+        records = [read(gap=999, line=i) for i in range(20)]
+        core, end = self._run_fixed_latency(records)
+        profile = core.completion_profile(block=5000)
+        assert profile, "expected milestones"
+        counts = [n for n, _ in profile]
+        times = [t for _, t in profile]
+        assert counts == sorted(counts)
+        assert times == sorted(times)
+
+    def test_unknown_completion_rejected(self):
+        core = Core(0, trace(read(line=1), read(line=2)))
+        a = core.try_emit()
+        fake = core.try_emit()
+        core.on_complete(a, 10)
+        with pytest.raises(ValueError):
+            core.on_complete(a, 20)  # already retired / not outstanding
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreParams(rob_size=0)
+
+    def test_ticks_per_mem_cycle(self):
+        assert CoreParams(width=4, cpu_per_mem_cycle=4) \
+            .ticks_per_mem_cycle == 16

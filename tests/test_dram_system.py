@@ -1,0 +1,61 @@
+"""Tests for the multi-channel DRAM system wrapper."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType
+from repro.dram.system import DramSystem
+from repro.dram.timing import DDR3_1600_X4
+
+P = DDR3_1600_X4
+
+
+class TestGeometry:
+    def test_defaults(self):
+        dram = DramSystem(P)
+        assert dram.num_channels == 1
+        assert dram.ranks_per_channel == 8
+        assert dram.banks_per_rank == 8
+        assert dram.total_banks == 64
+
+    def test_multi_channel(self):
+        dram = DramSystem(P, num_channels=4)
+        assert dram.num_channels == 4
+        assert dram.total_banks == 256
+        assert all(
+            ch.channel_id == i for i, ch in enumerate(dram.channels)
+        )
+
+    def test_needs_a_channel(self):
+        with pytest.raises(ValueError):
+            DramSystem(P, num_channels=0)
+
+
+class TestChannelIndependence:
+    def test_same_cycle_on_different_channels_ok(self):
+        dram = DramSystem(P, num_channels=2)
+        for ch in range(2):
+            dram.channels[ch].issue(Command(
+                CommandType.ACTIVATE, 10, ch, 0, 0, row=1
+            ))
+        assert dram.channels[0].stat_commands == 1
+        assert dram.channels[1].stat_commands == 1
+
+    def test_utilization_averages_channels(self):
+        dram = DramSystem(P, num_channels=2)
+        ch0 = dram.channels[0]
+        ch0.issue(Command(CommandType.ACTIVATE, 0, 0, 0, 0, row=1))
+        ch0.issue(Command(CommandType.COL_READ_AP, P.tRCD, 0, 0, 0,
+                          row=1))
+        # One burst on one of two channels over 100 cycles.
+        assert dram.bus_utilization(100) == pytest.approx(
+            P.tBURST / 200
+        )
+        assert dram.total_data_cycles() == P.tBURST
+
+    def test_finalize_closes_all_power_accounting(self):
+        dram = DramSystem(P, num_channels=2)
+        dram.finalize(1000)
+        for channel in dram.channels:
+            for rank in channel.ranks:
+                assert rank.energy.total_cycles() == 1000

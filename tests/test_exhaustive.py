@@ -1,0 +1,54 @@
+"""Tests for the exhaustive bounded non-interference checker."""
+
+import pytest
+
+from repro.analysis.exhaustive import (
+    ACTIONS,
+    exhaustive_noninterference,
+)
+from repro.sim.config import SystemConfig
+
+CFG = SystemConfig()
+
+
+class TestSecureSchemesHold:
+    @pytest.mark.parametrize("scheme", [
+        "fs_rp", "fs_reordered_bp", "fs_np_ta", "tp_bp", "channel_part",
+    ])
+    def test_all_adversarial_patterns_identical(self, scheme):
+        report = exhaustive_noninterference(
+            scheme, decision_points=3, config=CFG
+        )
+        assert report.holds, report.counterexample
+        assert report.patterns_checked == len(ACTIONS) ** 3
+
+
+class TestInsecureSchemesFail:
+    def test_baseline_has_a_counterexample(self):
+        report = exhaustive_noninterference(
+            "baseline", decision_points=3, config=CFG
+        )
+        assert not report.holds
+        assert report.counterexample is not None
+        # The check stops at the first counterexample.
+        assert report.patterns_checked < len(ACTIONS) ** 3
+
+    def test_fcfs_has_a_counterexample(self):
+        report = exhaustive_noninterference(
+            "fcfs", decision_points=3, config=CFG
+        )
+        assert not report.holds
+
+
+class TestParameters:
+    def test_validates_decision_points(self):
+        with pytest.raises(ValueError):
+            exhaustive_noninterference("fs_rp", decision_points=0)
+
+    def test_restricted_action_set(self):
+        report = exhaustive_noninterference(
+            "fs_rp", decision_points=3, actions=("idle", "read"),
+            config=CFG,
+        )
+        assert report.holds
+        assert report.patterns_checked == 2 ** 3

@@ -1,0 +1,78 @@
+"""Tests for metrics helpers and the text report renderer."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    normalized,
+)
+from repro.analysis.report import (
+    format_comparison,
+    format_series,
+    format_table,
+)
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_geometric(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_needs_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalized(self):
+        assert normalized(3.0, 4.0) == 0.75
+        with pytest.raises(ValueError):
+            normalized(1.0, 0.0)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        out = format_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        assert "a" in out and "b" in out
+        assert "2.500" in out and "3" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Figure 99")
+        assert out.startswith("Figure 99")
+
+    def test_column_alignment(self):
+        out = format_table(["name", "v"], [["long-name-here", 1]])
+        lines = out.splitlines()
+        assert len(lines[0]) >= len("long-name-here")
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        out = format_series(
+            ["w1", "w2"],
+            {"fs": [1.0, 2.0], "tp": [0.5, 0.25]},
+            title="Fig",
+        )
+        assert "fs" in out and "tp" in out
+        assert "0.250" in out
+
+    def test_row_per_label(self):
+        out = format_series(["a", "b", "c"], {"s": [1, 2, 3]})
+        assert len(out.splitlines()) == 5  # header + rule + 3 rows
+
+
+class TestComparison:
+    def test_format(self):
+        line = format_comparison("peak util", 0.57, 0.571)
+        assert "paper 0.57" in line and "measured 0.571" in line

@@ -1,0 +1,61 @@
+"""Tests for the mutual-information leakage estimator."""
+
+import math
+
+import pytest
+
+from repro.analysis.mutual_information import (
+    estimate_channel_leakage,
+    mutual_information_bits,
+)
+from repro.sim.config import SystemConfig
+
+
+class TestMiEstimator:
+    def test_independent_variables_zero_bits(self):
+        samples = [(s, (0,)) for s in (0, 1, 0, 1)]
+        assert mutual_information_bits(samples) == 0.0
+
+    def test_fully_determined_one_bit(self):
+        samples = [(0, (10,)), (1, (20,))] * 8
+        assert mutual_information_bits(samples) == pytest.approx(1.0)
+
+    def test_two_bits_for_four_secrets(self):
+        samples = [(s, (s,)) for s in range(4)] * 4
+        assert mutual_information_bits(samples) == pytest.approx(2.0)
+
+    def test_partial_leak_between(self):
+        # Secret 0 and 1 share an observation half the time.
+        samples = (
+            [(0, (0,))] * 4 + [(1, (0,))] * 2 + [(1, (1,))] * 2
+        )
+        bits = mutual_information_bits(samples)
+        assert 0.0 < bits < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mutual_information_bits([])
+
+
+class TestChannelLeakage:
+    CFG = SystemConfig(accesses_per_core=120)
+
+    def test_fs_leaks_zero_bits(self):
+        estimate = estimate_channel_leakage(
+            "fs_rp", seeds=(0, 1), config=self.CFG
+        )
+        assert estimate.bits == 0.0
+        assert estimate.fraction_leaked == 0.0
+
+    def test_baseline_leaks_the_whole_secret(self):
+        estimate = estimate_channel_leakage(
+            "baseline", seeds=(0, 1), config=self.CFG
+        )
+        assert estimate.bits == pytest.approx(estimate.max_bits)
+        assert estimate.max_bits == pytest.approx(math.log2(3))
+
+    def test_sample_bookkeeping(self):
+        estimate = estimate_channel_leakage(
+            "fs_rp", seeds=(0,), config=self.CFG
+        )
+        assert estimate.samples == 3  # three secrets, one seed

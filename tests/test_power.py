@@ -1,0 +1,135 @@
+"""Unit tests for the IDD-based power model and energy adjustments."""
+
+import pytest
+
+from repro.core.energy_opts import (
+    EnergyAdjustments,
+    FsEnergyOptions,
+    adjusted_energy,
+)
+from repro.dram.power import (
+    DramPowerParams,
+    EnergyBreakdown,
+    MICRON_4GB_DDR3_1600,
+    PowerModel,
+    ZERO_ENERGY,
+)
+from repro.dram.rank import RankEnergyCounters
+from repro.dram.timing import DDR3_1600_X4
+
+P = DDR3_1600_X4
+
+
+@pytest.fixture
+def model():
+    return PowerModel(P)
+
+
+class TestComponentEnergies:
+    def test_zero_activity_zero_dynamic(self, model):
+        e = model.rank_energy(RankEnergyCounters())
+        assert e.activate_pj == 0
+        assert e.read_pj == 0 and e.write_pj == 0
+        assert e.background_pj == 0
+
+    def test_activate_energy_positive(self, model):
+        e = model.rank_energy(RankEnergyCounters(activates=10))
+        assert e.activate_pj > 0
+
+    def test_activate_energy_linear(self, model):
+        e1 = model.rank_energy(RankEnergyCounters(activates=1))
+        e10 = model.rank_energy(RankEnergyCounters(activates=10))
+        assert e10.activate_pj == pytest.approx(10 * e1.activate_pj)
+
+    def test_write_burst_costs_more_than_read(self, model):
+        # IDD4W > IDD4R for this part.
+        er = model.rank_energy(RankEnergyCounters(reads=100))
+        ew = model.rank_energy(RankEnergyCounters(writes=100))
+        assert ew.write_pj > er.read_pj
+
+    def test_background_states_ordered(self, model):
+        active = model.rank_energy(
+            RankEnergyCounters(cycles_active=1000)
+        ).background_pj
+        standby = model.rank_energy(
+            RankEnergyCounters(cycles_precharged=1000)
+        ).background_pj
+        pdn = model.rank_energy(
+            RankEnergyCounters(cycles_power_down=1000)
+        ).background_pj
+        assert active > standby > pdn > 0
+
+    def test_refresh_energy(self, model):
+        e = model.rank_energy(RankEnergyCounters(refreshes=3))
+        assert e.refresh_pj > 0
+
+    def test_io_energy_per_burst(self, model):
+        e = model.rank_energy(RankEnergyCounters(reads=2, writes=3))
+        assert e.io_pj == pytest.approx(
+            5 * MICRON_4GB_DDR3_1600.io_energy_per_burst_pj
+        )
+
+
+class TestBreakdownArithmetic:
+    def test_total(self):
+        e = EnergyBreakdown(1, 2, 3, 4, 5, 6)
+        assert e.total_pj == 21
+        assert e.total_mj == pytest.approx(21e-9)
+
+    def test_add(self):
+        e = EnergyBreakdown(1, 1, 1, 1, 1, 1) + ZERO_ENERGY
+        assert e.total_pj == 6
+
+
+class TestValidation:
+    def test_devices_per_rank(self):
+        with pytest.raises(ValueError):
+            DramPowerParams(devices_per_rank=0)
+
+    def test_positive_currents(self):
+        with pytest.raises(ValueError):
+            DramPowerParams(idd0=-1)
+
+    def test_cycle_ns(self):
+        with pytest.raises(ValueError):
+            PowerModel(P, cycle_ns=0)
+
+
+class TestAdjustments:
+    def test_rowhit_saving_reduces_activate_energy(self, model):
+        measured = model.rank_energy(RankEnergyCounters(activates=100))
+        adj = EnergyAdjustments(rowhit_saved_activates=40)
+        adjusted = adjusted_energy(measured, adj, model)
+        assert adjusted.activate_pj == pytest.approx(
+            0.6 * measured.activate_pj
+        )
+
+    def test_powerdown_saving_reduces_background(self, model):
+        measured = model.rank_energy(
+            RankEnergyCounters(cycles_precharged=10_000)
+        )
+        adj = EnergyAdjustments(powerdown_cycles=10_000)
+        adjusted = adjusted_energy(measured, adj, model)
+        pdn_equiv = model.rank_energy(
+            RankEnergyCounters(cycles_power_down=10_000)
+        ).background_pj
+        assert adjusted.background_pj == pytest.approx(pdn_equiv)
+
+    def test_savings_never_go_negative(self, model):
+        measured = model.rank_energy(RankEnergyCounters(activates=1))
+        adj = EnergyAdjustments(rowhit_saved_activates=1000)
+        adjusted = adjusted_energy(measured, adj, model)
+        assert adjusted.activate_pj == 0.0
+
+    def test_merge(self):
+        a = EnergyAdjustments(1, 2)
+        a.merge(EnergyAdjustments(10, 20))
+        assert (a.rowhit_saved_activates, a.powerdown_cycles) == (11, 22)
+
+
+class TestFsEnergyOptions:
+    def test_none_and_all(self):
+        assert not FsEnergyOptions.none().suppress_dummies
+        all_on = FsEnergyOptions.all()
+        assert all_on.suppress_dummies and all_on.boost_row_hits \
+            and all_on.power_down_idle

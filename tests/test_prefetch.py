@@ -1,0 +1,83 @@
+"""Tests for the sandbox prefetcher."""
+
+import pytest
+
+from repro.prefetch.sandbox import SandboxPrefetcher
+
+
+class TestSandboxActivation:
+    def test_streaming_activates_unit_stride(self):
+        p = SandboxPrefetcher()
+        for line in range(600):
+            p.observe(line)
+        assert 1 in p.active_offsets
+
+    def test_random_stream_stays_inactive(self):
+        import random
+
+        rng = random.Random(1)
+        p = SandboxPrefetcher()
+        for _ in range(600):
+            p.observe(rng.randrange(10**9))
+        assert p.active_offsets == []
+
+    def test_stride_two_detected(self):
+        p = SandboxPrefetcher()
+        for i in range(600):
+            p.observe(i * 2)
+        assert 2 in p.active_offsets
+        assert 1 not in p.active_offsets
+
+    def test_at_most_four_active(self):
+        p = SandboxPrefetcher()
+        # Dense stream hits many offsets at once.
+        for i in range(600):
+            p.observe(i)
+        assert len(p.active_offsets) <= SandboxPrefetcher.MAX_ACTIVE
+
+
+class TestCandidateGeneration:
+    def test_claim_drains_queue(self):
+        p = SandboxPrefetcher()
+        for line in range(600):
+            p.observe(line)
+        got = p.claim_candidates()
+        assert got
+        assert p.claim_candidates() == []
+
+    def test_candidates_follow_stream(self):
+        p = SandboxPrefetcher()
+        for line in range(600):
+            p.observe(line)
+        p.claim_candidates()
+        p.observe(1000)
+        cands = p.claim_candidates()
+        assert any(c > 1000 for c in cands)
+
+    def test_queue_depth_bounded(self):
+        p = SandboxPrefetcher()
+        for line in range(2000):
+            p.observe(line)
+        assert len(p.claim_candidates()) <= SandboxPrefetcher.QUEUE_DEPTH
+
+    def test_no_duplicate_prefetches(self):
+        p = SandboxPrefetcher()
+        for line in range(600):
+            p.observe(line)
+        p.claim_candidates()
+        p.observe(5000)
+        p.observe(5000)
+        cands = p.claim_candidates()
+        assert len(cands) == len(set(cands))
+
+
+class TestValidation:
+    def test_needs_offsets(self):
+        with pytest.raises(ValueError):
+            SandboxPrefetcher(offsets=())
+
+    def test_counters(self):
+        p = SandboxPrefetcher()
+        for line in range(300):
+            p.observe(line)
+        assert p.stat_observed == 300

@@ -1,0 +1,75 @@
+"""Public API smoke tests: the README quickstart must keep working."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.cache
+        import repro.controllers
+        import repro.core
+        import repro.cpu
+        import repro.dram
+        import repro.mapping
+        import repro.prefetch
+        import repro.sim
+        import repro.workloads
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis as a
+        import repro.controllers as c
+        import repro.core as core
+        import repro.dram as d
+        import repro.mapping as m
+        import repro.sim as s
+        import repro.workloads as w
+
+        for module in (a, c, core, d, m, s, w):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestQuickstart:
+    """The exact flow shown in the README."""
+
+    def test_readme_flow(self):
+        from repro import SystemConfig, run_scheme, suite_specs
+
+        config = SystemConfig(accesses_per_core=150)
+        baseline = run_scheme("baseline", config, suite_specs("mcf"))
+        secure = run_scheme("fs_rp", config, suite_specs("mcf"))
+        ratio = secure.weighted_ipc(baseline) / 8.0
+        assert 0.4 < ratio < 1.0
+
+    def test_solver_quickstart(self):
+        from repro import DDR3_1600_X4, PipelineSolver, PeriodicMode, \
+            SharingLevel
+
+        solver = PipelineSolver(DDR3_1600_X4)
+        assert solver.solve(PeriodicMode.DATA, SharingLevel.RANK) == 7
+
+    def test_schedule_quickstart(self):
+        from repro import build_fs_schedule, validate_schedule, \
+            SharingLevel, DDR3_1600_X4
+
+        schedule = build_fs_schedule(DDR3_1600_X4, 8, SharingLevel.RANK)
+        assert validate_schedule(schedule) == []
+
+    def test_interference_quickstart(self):
+        from repro import SystemConfig, interference_report, workload
+
+        report = interference_report(
+            "fs_rp", workload("xalancbmk"),
+            config=SystemConfig(accesses_per_core=100),
+        )
+        assert report.identical

@@ -1,0 +1,160 @@
+"""Unit tests for rank-level constraints (tRRD, tFAW, turnaround, power)."""
+
+import pytest
+
+from repro.dram.bank import TimingViolation
+from repro.dram.commands import Command, CommandType
+from repro.dram.rank import PowerState, Rank
+from repro.dram.timing import DDR3_1600_X4
+
+P = DDR3_1600_X4
+
+
+def act(cycle, bank=0, row=5):
+    return Command(CommandType.ACTIVATE, cycle, 0, 0, bank, row)
+
+
+def col(cycle, type_=CommandType.COL_READ_AP, bank=0, row=5):
+    return Command(type_, cycle, 0, 0, bank, row)
+
+
+@pytest.fixture
+def rank():
+    return Rank(P, num_banks=8)
+
+
+class TestTRRD:
+    def test_gap_between_activates_to_different_banks(self, rank):
+        rank.apply(act(0, bank=0))
+        assert rank.earliest_activate(0, bank=1) == P.tRRD
+
+    def test_early_activate_rejected(self, rank):
+        rank.apply(act(0, bank=0))
+        with pytest.raises(TimingViolation):
+            rank.apply(act(P.tRRD - 1, bank=1))
+
+
+class TestTFAW:
+    def test_fifth_activate_waits_for_window(self, rank):
+        for i in range(4):
+            rank.apply(act(i * P.tRRD, bank=i))
+        assert rank.earliest_activate(0, bank=4) == P.tFAW
+
+    def test_window_slides(self, rank):
+        times = [0, 6, 12, 18, 24]
+        for i, t in enumerate(times):
+            rank.apply(act(t, bank=i))
+        # The next activate is bounded by the window starting at t=6.
+        assert rank.earliest_activate(0, bank=5) == 6 + P.tFAW
+
+    def test_early_fifth_activate_rejected(self, rank):
+        for i in range(4):
+            rank.apply(act(i * P.tRRD, bank=i))
+        with pytest.raises(TimingViolation):
+            rank.apply(act(P.tFAW - 1, bank=4))
+
+
+class TestColumnTurnaround:
+    def _open(self, rank, bank, cycle):
+        rank.apply(act(cycle, bank=bank))
+
+    def test_read_to_read_gap_is_tccd(self, rank):
+        self._open(rank, 0, 0)
+        self._open(rank, 1, P.tRRD)
+        rank.apply(col(P.tRCD, bank=0))
+        # Bounded by bank 1's own tRCD (activate at tRRD) here, since
+        # tRRD + tRCD > tRCD + tCCD for the Table-1 part.
+        assert rank.earliest_column(0, 1, True) == max(
+            P.tRCD + P.tCCD, P.tRRD + P.tRCD
+        )
+
+    def test_read_to_write_gap(self, rank):
+        self._open(rank, 0, 0)
+        self._open(rank, 1, P.tRRD)
+        rank.apply(col(P.tRCD, bank=0))
+        assert (
+            rank.earliest_column(0, 1, False)
+            == P.tRCD + P.read_to_write
+        )
+
+    def test_write_to_read_gap(self, rank):
+        self._open(rank, 0, 0)
+        self._open(rank, 1, P.tRRD)
+        rank.apply(col(P.tRCD, CommandType.COL_WRITE_AP, bank=0))
+        assert (
+            rank.earliest_column(0, 1, True)
+            == P.tRCD + P.write_to_read
+        )
+
+    def test_early_column_rejected(self, rank):
+        self._open(rank, 0, 0)
+        self._open(rank, 1, P.tRRD)
+        rank.apply(col(P.tRCD, CommandType.COL_WRITE_AP, bank=0))
+        with pytest.raises(TimingViolation):
+            rank.apply(col(P.tRCD + P.write_to_read - 1, bank=1))
+
+
+class TestPowerStates:
+    def test_initial_state_precharged(self, rank):
+        assert rank.power_state is PowerState.PRECHARGED
+
+    def test_activate_enters_active(self, rank):
+        rank.apply(act(0))
+        assert rank.power_state is PowerState.ACTIVE
+
+    def test_auto_precharge_returns_to_precharged(self, rank):
+        rank.apply(act(0))
+        rank.apply(col(P.tRCD))
+        assert rank.power_state is PowerState.PRECHARGED
+
+    def test_power_down_with_open_bank_rejected(self, rank):
+        rank.apply(act(0))
+        with pytest.raises(TimingViolation):
+            rank.apply(Command(CommandType.POWER_DOWN, 5, 0, 0))
+
+    def test_power_down_up_cycle(self, rank):
+        rank.apply(Command(CommandType.POWER_DOWN, 10, 0, 0))
+        assert rank.power_state is PowerState.POWER_DOWN
+        rank.apply(Command(CommandType.POWER_UP, 50, 0, 0))
+        assert rank.power_state is PowerState.PRECHARGED
+        # Exit latency blocks commands.
+        assert rank.earliest_activate(50, 0) == 50 + P.tXP
+
+    def test_power_up_without_down_rejected(self, rank):
+        with pytest.raises(TimingViolation):
+            rank.apply(Command(CommandType.POWER_UP, 5, 0, 0))
+
+    def test_residency_accounting(self, rank):
+        rank.apply(act(100))           # precharged 0-100
+        rank.apply(col(100 + P.tRCD))  # active 100-111, then precharged
+        rank.finalize(200)
+        e = rank.energy
+        assert e.cycles_precharged + e.cycles_active == 200
+        assert e.cycles_active == P.tRCD
+
+
+class TestEnergyCounters:
+    def test_counts_by_type(self, rank):
+        rank.apply(act(0))
+        rank.apply(col(P.tRCD, CommandType.COL_READ_AP))
+        rank.apply(act(P.tRC))
+        rank.apply(col(P.tRC + P.tRCD, CommandType.COL_WRITE_AP))
+        assert rank.energy.activates == 2
+        assert rank.energy.reads == 1
+        assert rank.energy.writes == 1
+
+
+class TestRefresh:
+    def test_refresh_needs_all_banks_closed(self, rank):
+        rank.apply(act(0))
+        assert rank.earliest_refresh(5) >= P.tRAS + P.tRP
+
+    def test_refresh_counts(self, rank):
+        rank.apply(Command(CommandType.REFRESH, 10, 0, 0))
+        assert rank.energy.refreshes == 1
+
+    def test_early_refresh_rejected(self, rank):
+        rank.apply(act(0))
+        rank.apply(col(P.tRCD))
+        with pytest.raises(TimingViolation):
+            rank.apply(Command(CommandType.REFRESH, P.tRCD + 1, 0, 0))

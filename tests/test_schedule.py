@@ -1,0 +1,206 @@
+"""Tests for concrete FS slot schedules (Figures 1 and 2)."""
+
+import pytest
+
+from repro.core.pipeline_solver import PeriodicMode, SharingLevel
+from repro.core.schedule import (
+    FixedServiceSchedule,
+    SlotSpec,
+    build_fs_schedule,
+    build_reordered_bp_geometry,
+    build_triple_alternation_schedule,
+    schedule_commands,
+    validate_schedule,
+)
+from repro.dram.checker import TimingChecker
+from repro.dram.timing import DDR3_1600_X4
+
+P = DDR3_1600_X4
+
+
+class TestFigure1RankSchedule:
+    """The 8-thread rank-partitioned pipeline of Figure 1."""
+
+    @pytest.fixture
+    def sched(self):
+        return build_fs_schedule(P, 8, SharingLevel.RANK)
+
+    def test_slot_gap_is_7(self, sched):
+        assert sched.slot_gap == 7
+
+    def test_interval_is_56(self, sched):
+        assert sched.interval_length == 56
+
+    def test_peak_utilization_57_percent(self, sched):
+        assert sched.peak_utilization() == pytest.approx(4 / 7)
+
+    def test_mode_is_periodic_data(self, sched):
+        assert sched.mode is PeriodicMode.DATA
+
+    def test_one_slot_per_domain(self, sched):
+        for d in range(8):
+            assert len(sched.slots_of_domain(d)) == 1
+
+    def test_validates_clean(self, sched):
+        assert validate_schedule(sched) == []
+
+    def test_command_times_read(self, sched):
+        t = sched.command_times(100, is_read=True)
+        assert (t.act, t.col, t.data) == (78, 89, 100)
+
+    def test_command_times_write(self, sched):
+        t = sched.command_times(100, is_read=False)
+        assert (t.act, t.col, t.data) == (84, 95, 100)
+
+    def test_lead_keeps_commands_nonnegative(self, sched):
+        first_anchor = sched.anchor(0, sched.slots[0])
+        assert sched.command_times(first_anchor, True).first >= 0
+
+    def test_anchor_arithmetic(self, sched):
+        s0 = sched.slots[0]
+        assert (
+            sched.anchor(5, s0) - sched.anchor(4, s0)
+            == sched.interval_length
+        )
+
+
+class TestBankAndNoPartitionSchedules:
+    def test_bank_partition_q_is_120(self):
+        sched = build_fs_schedule(P, 8, SharingLevel.BANK)
+        assert sched.slot_gap == 15
+        assert sched.interval_length == 120
+        assert sched.peak_utilization() == pytest.approx(0.267, abs=1e-3)
+        assert validate_schedule(sched) == []
+
+    def test_no_partition_q_is_344(self):
+        sched = build_fs_schedule(P, 8, SharingLevel.NONE)
+        assert sched.slot_gap == 43
+        assert sched.interval_length == 344
+        assert sched.peak_utilization() == pytest.approx(0.093, abs=1e-3)
+        assert validate_schedule(sched) == []
+
+    def test_multiple_slots_per_domain(self):
+        sched = build_fs_schedule(
+            P, 4, SharingLevel.RANK, slots_per_domain=2
+        )
+        assert sched.slots_per_interval == 8
+        for d in range(4):
+            assert len(sched.slots_of_domain(d)) == 2
+        assert validate_schedule(sched) == []
+
+
+class TestTripleAlternation:
+    @pytest.fixture
+    def sched(self):
+        return build_triple_alternation_schedule(P, 8)
+
+    def test_q_is_360(self, sched):
+        assert sched.interval_length == 360
+
+    def test_slot_gap_is_15(self, sched):
+        assert sched.slot_gap == 15
+
+    def test_bank_classes_rotate_mod_3(self, sched):
+        for slot in sched.slots:
+            assert slot.bank_mod == slot.index % 3
+
+    def test_neighbours_never_share_bank_class(self, sched):
+        mods = [s.bank_mod for s in sched.slots]
+        n = len(mods)
+        for i in range(n):
+            assert mods[i] != mods[(i + 1) % n]
+            assert mods[i] != mods[(i + 2) % n]
+
+    def test_every_domain_sees_all_three_classes(self, sched):
+        for d in range(8):
+            classes = {s.bank_mod for s in sched.slots_of_domain(d)}
+            assert classes == {0, 1, 2}
+
+    def test_validates_clean(self, sched):
+        assert validate_schedule(sched) == []
+
+    def test_same_bank_reuse_distance_safe(self, sched):
+        # Same bank class recurs every 3 slots: 45 >= 43 cycles.
+        assert 3 * sched.slot_gap >= 43
+
+    def test_multiple_of_three_domains_supported(self):
+        sched = build_triple_alternation_schedule(P, 6)
+        for d in range(6):
+            classes = {s.bank_mod for s in sched.slots_of_domain(d)}
+            assert classes == {0, 1, 2}
+        assert validate_schedule(sched) == []
+
+
+class TestReorderedBpGeometry:
+    def test_paper_constants(self):
+        g = build_reordered_bp_geometry(P, 8)
+        assert g.data_gap == 6
+        assert g.tail == 15
+        assert g.interval_length == 63
+
+    def test_utilization_doubles_over_basic_bp(self):
+        g = build_reordered_bp_geometry(P, 8)
+        assert g.peak_utilization(P.tBURST) == pytest.approx(
+            32 / 63
+        )  # ~51%
+
+    def test_data_offsets(self):
+        g = build_reordered_bp_geometry(P, 8)
+        assert [g.data_offset(i) for i in range(8)] == \
+            [0, 6, 12, 18, 24, 30, 36, 42]
+        with pytest.raises(ValueError):
+            g.data_offset(8)
+
+    def test_reads_then_writes_stream_is_legal(self):
+        """Expand a full reads-then-writes interval sequence and check."""
+        from repro.dram.commands import Command, CommandType
+
+        g = build_reordered_bp_geometry(P, 8)
+        checker = TimingChecker(P)
+        cmds = []
+        base = 100
+        for interval in range(3):
+            start = base + interval * g.interval_length
+            # 5 reads then 3 writes, banks spread, same rank (worst case).
+            for pos in range(8):
+                is_read = pos < 5
+                data = start + g.data_offset(pos)
+                if is_read:
+                    act, col = data - 22, data - 11
+                    ctype = CommandType.COL_READ_AP
+                else:
+                    act, col = data - 16, data - 5
+                    ctype = CommandType.COL_WRITE_AP
+                cmds.append(Command(
+                    CommandType.ACTIVATE, act, 0, 0, pos, interval
+                ))
+                cmds.append(Command(ctype, col, 0, 0, pos, interval))
+        assert checker.check(cmds) == []
+
+
+class TestScheduleValidation:
+    def test_rejects_missing_domain(self):
+        slots = [SlotSpec(0, 0, 0)]
+        with pytest.raises(ValueError):
+            FixedServiceSchedule(
+                P, PeriodicMode.DATA, 7, 2, slots, 14, SharingLevel.RANK
+            )
+
+    def test_rejects_empty_slots(self):
+        with pytest.raises(ValueError):
+            FixedServiceSchedule(
+                P, PeriodicMode.DATA, 7, 1, [], 7, SharingLevel.RANK
+            )
+
+    def test_schedule_commands_expansion_size(self):
+        sched = build_fs_schedule(P, 4, SharingLevel.RANK)
+        cmds = schedule_commands(sched, [True] * 4, intervals=2)
+        assert len(cmds) == 2 * 4 * 2  # 2 commands per slot
+
+    def test_corrupted_schedule_fails_validation(self):
+        # Squeeze the slots closer than the solver allows.
+        slots = [SlotSpec(i, i, i * 6) for i in range(8)]
+        bad = FixedServiceSchedule(
+            P, PeriodicMode.DATA, 6, 8, slots, 48, SharingLevel.RANK
+        )
+        assert validate_schedule(bad) != []

@@ -1,0 +1,145 @@
+"""Integration tests: full system runs for every scheme."""
+
+import pytest
+
+from repro.dram.checker import TimingChecker
+from repro.sim.config import SystemConfig
+from repro.sim.runner import (
+    SCHEMES,
+    SchemeOptions,
+    build_system,
+    run_scheme,
+)
+from repro.workloads.spec import suite_specs
+from repro.workloads.synthetic import idle_spec, intense_spec
+
+CFG = SystemConfig(accesses_per_core=300)
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    return run_scheme("baseline", CFG, suite_specs("milc", 8))
+
+
+class TestAllSchemesComplete:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_runs_to_completion(self, scheme):
+        result = run_scheme(scheme, CFG, suite_specs("milc", 8),
+                            max_cycles=3_000_000)
+        assert all(c.done for c in result.cores), scheme
+        assert result.total_reads > 0
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_commands_legal(self, scheme):
+        options = SchemeOptions(log_commands=True)
+        system = build_system(scheme, CFG, suite_specs("milc", 8), options)
+        system.run(max_cycles=3_000_000)
+        violations = TimingChecker(CFG.timing).check(
+            system.controller.command_log
+        )
+        assert violations == [], f"{scheme}: {violations[:3]}"
+
+
+class TestPerformanceOrdering:
+    """The qualitative orderings the paper's Figure 3 depends on."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        specs = suite_specs("milc", 8)
+        return {
+            scheme: run_scheme(scheme, CFG, specs, max_cycles=5_000_000)
+            for scheme in (
+                "baseline", "fs_rp", "fs_reordered_bp", "fs_bp",
+                "tp_bp", "fs_np_ta", "tp_np",
+            )
+        }
+
+    def test_baseline_weighted_ipc_is_core_count(self, results):
+        base = results["baseline"]
+        assert base.weighted_ipc(base) == pytest.approx(8.0)
+
+    def test_baseline_fastest(self, results):
+        base = results["baseline"]
+        for scheme, result in results.items():
+            if scheme != "baseline":
+                assert result.weighted_ipc(base) < 8.0, scheme
+
+    def test_fs_rp_beats_tp_bp(self, results):
+        base = results["baseline"]
+        assert results["fs_rp"].weighted_ipc(base) > \
+            results["tp_bp"].weighted_ipc(base)
+
+    def test_fs_reordered_beats_fs_bp(self, results):
+        base = results["baseline"]
+        assert results["fs_reordered_bp"].weighted_ipc(base) > \
+            results["fs_bp"].weighted_ipc(base)
+
+    def test_triple_alternation_beats_tp_np_when_latency_bound(self):
+        """The paper's 2x claim for triple alternation comes from its
+        latency advantage (a slot every 120 cycles vs a turn every 1376);
+        it shows on latency-sensitive workloads.  (On bandwidth-saturated
+        rate-mode streams our ROB-limited cores cannot cover all three
+        bank classes, a documented deviation — see EXPERIMENTS.md.)"""
+        specs = suite_specs("xalancbmk", 8)
+        base = run_scheme("baseline", CFG, specs, max_cycles=5_000_000)
+        ta = run_scheme("fs_np_ta", CFG, specs, max_cycles=5_000_000)
+        tp = run_scheme("tp_np", CFG, specs, max_cycles=5_000_000)
+        assert ta.weighted_ipc(base) > 1.5 * tp.weighted_ipc(base)
+
+    def test_energy_positive_everywhere(self, results):
+        for scheme, result in results.items():
+            assert result.energy.total_pj > 0, scheme
+
+
+class TestShapingUnderLoad:
+    def test_fs_dummy_fraction_tracks_intensity(self):
+        quiet = run_scheme("fs_rp", CFG, [idle_spec()] * 8,
+                           max_cycles=2_000_000)
+        loud = run_scheme("fs_rp", CFG, [intense_spec()] * 8,
+                          max_cycles=2_000_000)
+        assert quiet.stats.dummy_fraction > 0.7
+        assert loud.stats.dummy_fraction < 0.3
+
+    def test_fs_bus_utilization_capped_at_peak(self):
+        result = run_scheme("fs_rp", CFG, [intense_spec()] * 8,
+                            max_cycles=2_000_000)
+        assert result.bus_utilization <= 4 / 7 + 0.01
+
+
+class TestRunnerValidation:
+    def test_spec_count_must_match_cores(self):
+        with pytest.raises(ValueError):
+            build_system("baseline", CFG, suite_specs("milc", 4))
+
+    def test_unknown_scheme(self):
+        from repro.sim.runner import build_controller, partition_for
+
+        with pytest.raises(ValueError):
+            build_controller(
+                "warp-drive", CFG, partition_for("baseline", CFG),
+                SchemeOptions(),
+            )
+
+    def test_with_cores_scales_ranks(self):
+        cfg4 = CFG.with_cores(4)
+        assert cfg4.num_cores == 4
+        assert cfg4.geometry.ranks == 4
+
+
+class TestPrefetchIntegration:
+    def test_fs_rp_prefetch_runs_and_prefetches(self):
+        # zeusmp: streaming enough for the sandbox to activate, light
+        # enough that FS has dummy slots for prefetches to ride in.
+        specs = suite_specs("zeusmp", 8)
+        options = SchemeOptions(prefetch=True)
+        result = run_scheme("fs_rp", CFG, specs, options,
+                            max_cycles=3_000_000)
+        assert all(c.done for c in result.cores)
+        assert result.stats.prefetches > 0
+
+    def test_prefetch_helps_streaming_workload(self):
+        specs = suite_specs("zeusmp", 8)
+        plain = run_scheme("fs_rp", CFG, specs, max_cycles=3_000_000)
+        pf = run_scheme("fs_rp", CFG, specs, SchemeOptions(prefetch=True),
+                        max_cycles=3_000_000)
+        assert pf.cycles <= plain.cycles * 1.05

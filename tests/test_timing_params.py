@@ -1,0 +1,117 @@
+"""Unit tests for DDR3 timing parameters (Table 1)."""
+
+import pytest
+
+from repro.dram.timing import (
+    ClockDomain,
+    DDR3_1066,
+    DDR3_1600_X4,
+    DEFAULT_CLOCK,
+    TimingParams,
+)
+
+
+class TestTable1Values:
+    """The default part must be exactly the paper's Table 1."""
+
+    def test_row_timing(self):
+        p = DDR3_1600_X4
+        assert (p.tRC, p.tRCD, p.tRAS, p.tRP) == (39, 11, 28, 11)
+
+    def test_column_timing(self):
+        p = DDR3_1600_X4
+        assert (p.tCAS, p.tCWD, p.tBURST, p.tCCD) == (11, 5, 4, 4)
+
+    def test_rank_timing(self):
+        p = DDR3_1600_X4
+        assert (p.tFAW, p.tRRD, p.tWTR, p.tWR) == (24, 5, 6, 12)
+
+    def test_bus_timing(self):
+        p = DDR3_1600_X4
+        assert (p.tRTRS, p.tRTP) == (2, 6)
+
+    def test_refresh_timing(self):
+        # 7.8 us and 260 ns at 1.25 ns per cycle.
+        assert DDR3_1600_X4.tREFI == 6240
+        assert DDR3_1600_X4.tRFC == 208
+
+
+class TestCompoundDelays:
+    """The derived quantities the paper's equations use."""
+
+    def test_read_to_write_is_10(self):
+        assert DDR3_1600_X4.read_to_write == 10
+
+    def test_write_to_read_is_15(self):
+        assert DDR3_1600_X4.write_to_read == 15
+
+    def test_read_act_offset_is_22(self):
+        assert DDR3_1600_X4.read_act_offset == 22
+
+    def test_write_act_offset_is_16(self):
+        assert DDR3_1600_X4.write_act_offset == 16
+
+    def test_same_bank_write_turnaround_is_43(self):
+        assert DDR3_1600_X4.write_turnaround_same_bank == 43
+
+
+class TestDataGap:
+    def test_cross_rank_gap_includes_trtrs(self):
+        p = DDR3_1600_X4
+        assert p.data_gap(same_rank=False, same_type=True,
+                          first_is_write=False) == 6
+
+    def test_same_rank_same_type_gap_is_burst(self):
+        p = DDR3_1600_X4
+        assert p.data_gap(same_rank=True, same_type=True,
+                          first_is_write=False) == 4
+
+    def test_same_rank_write_to_read_gap(self):
+        p = DDR3_1600_X4
+        # Write data to read data: Wr2Rd shifted by the CWD/CAS offsets.
+        assert p.data_gap(same_rank=True, same_type=False,
+                          first_is_write=True) == 21
+
+    def test_same_rank_read_to_write_gap(self):
+        p = DDR3_1600_X4
+        assert p.data_gap(same_rank=True, same_type=False,
+                          first_is_write=False) == 4
+
+
+class TestValidation:
+    def test_trc_must_cover_tras_plus_trp(self):
+        with pytest.raises(ValueError, match="tRC"):
+            TimingParams(tRC=30, tRAS=28, tRP=11)
+
+    def test_rejects_nonpositive_parameter(self):
+        with pytest.raises(ValueError):
+            TimingParams(tBURST=0)
+
+    def test_scaled_override(self):
+        p = DDR3_1600_X4.scaled(tRTRS=4)
+        assert p.tRTRS == 4
+        assert p.tCAS == DDR3_1600_X4.tCAS
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DDR3_1600_X4.tCAS = 10  # type: ignore[misc]
+
+    def test_alternate_part_is_valid(self):
+        assert DDR3_1066.tRC >= DDR3_1066.tRAS + DDR3_1066.tRP
+
+
+class TestClockDomain:
+    def test_default_ratio(self):
+        assert DEFAULT_CLOCK.cpu_per_mem_cycle == 4
+
+    def test_cpu_cycles(self):
+        assert DEFAULT_CLOCK.cpu_cycles(56) == 224  # the paper's Q
+
+    def test_ns(self):
+        assert DEFAULT_CLOCK.ns(8) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockDomain(cpu_per_mem_cycle=0)
+        with pytest.raises(ValueError):
+            ClockDomain(mem_cycle_ns=0.0)

@@ -1,0 +1,102 @@
+"""Tests for trace file I/O."""
+
+import io
+
+import pytest
+
+from repro.cpu.trace import Trace, TraceRecord
+from repro.dram.commands import OpType
+from repro.workloads.spec import workload
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace_io import (
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    round_trip_equal,
+)
+
+
+def small_trace():
+    return Trace([
+        TraceRecord(10, OpType.READ, 0x100),
+        TraceRecord(0, OpType.WRITE, 0x101),
+        TraceRecord(5, OpType.READ, 0x2000, depends_on_prev=True),
+    ], name="small")
+
+
+class TestRoundTrip:
+    def test_dump_load_identity(self):
+        buffer = io.StringIO()
+        original = small_trace()
+        dump_trace(original, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert round_trip_equal(original, loaded)
+
+    def test_synthetic_round_trip(self):
+        original = generate_trace(workload("milc"), 500, seed=3)
+        buffer = io.StringIO()
+        dump_trace(original, buffer)
+        buffer.seek(0)
+        assert round_trip_equal(original, load_trace(buffer))
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        original = small_trace()
+        dump_trace(original, path)
+        loaded = load_trace(path)
+        assert round_trip_equal(original, loaded)
+        assert loaded.name == path
+
+
+class TestFormat:
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n10 R 0x10\n"
+        trace = load_trace(io.StringIO(text))
+        assert len(trace) == 1
+
+    def test_dependency_flag(self):
+        trace = load_trace(io.StringIO("0 R 0x1\n0 R 0x2 D\n"))
+        assert not trace[0].depends_on_prev
+        assert trace[1].depends_on_prev
+
+    def test_decimal_addresses_accepted(self):
+        trace = load_trace(io.StringIO("0 R 256\n"))
+        assert trace[0].line == 256
+
+    @pytest.mark.parametrize("bad", [
+        "R 0x10",             # missing gap
+        "x R 0x10",           # bad gap
+        "0 Q 0x10",           # bad direction
+        "0 R zz",             # bad address
+        "0 R 0x10 X",         # bad flag
+        "0 R 0x10 D extra",   # too many fields
+        "-1 R 0x10",          # negative gap
+    ])
+    def test_bad_lines_rejected(self, bad):
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO(bad + "\n"))
+
+    def test_error_reports_line_number(self):
+        try:
+            load_trace(io.StringIO("0 R 0x1\nbroken\n"))
+        except TraceFormatError as exc:
+            assert exc.line_number == 2
+        else:  # pragma: no cover
+            pytest.fail("expected TraceFormatError")
+
+
+class TestRoundTripEqual:
+    def test_detects_length_mismatch(self):
+        a = small_trace()
+        b = Trace(a.records[:-1])
+        assert not round_trip_equal(a, b)
+
+    def test_detects_field_mismatch(self):
+        a = small_trace()
+        b = Trace([
+            TraceRecord(10, OpType.READ, 0x100),
+            TraceRecord(0, OpType.READ, 0x101),   # W flipped to R
+            TraceRecord(5, OpType.READ, 0x2000, depends_on_prev=True),
+        ])
+        assert not round_trip_equal(a, b)

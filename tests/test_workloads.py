@@ -1,0 +1,168 @@
+"""Tests for synthetic workload generation and the benchmark suite."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.commands import OpType
+from repro.workloads.spec import (
+    EVALUATION_SUITE,
+    MIXES,
+    NPB,
+    SPEC2K6,
+    rate_mode,
+    suite_specs,
+    workload,
+)
+from repro.workloads.synthetic import (
+    LINES_PER_ROW,
+    WorkloadSpec,
+    generate_trace,
+    idle_spec,
+    intense_spec,
+)
+
+
+class TestGeneration:
+    def test_access_count(self):
+        spec = workload("milc")
+        trace = generate_trace(spec, 500, seed=1)
+        assert len(trace) == 500
+
+    def test_deterministic(self):
+        spec = workload("mcf")
+        a = generate_trace(spec, 300, seed=7)
+        b = generate_trace(spec, 300, seed=7)
+        assert [(r.gap, r.op, r.line) for r in a] == \
+            [(r.gap, r.op, r.line) for r in b]
+
+    def test_seeds_differ(self):
+        spec = workload("mcf")
+        a = generate_trace(spec, 300, seed=1)
+        b = generate_trace(spec, 300, seed=2)
+        assert [r.line for r in a] != [r.line for r in b]
+
+    def test_mpki_matches_spec(self):
+        spec = workload("libquantum")
+        trace = generate_trace(spec, 5000, seed=3)
+        assert trace.mpki == pytest.approx(spec.mpki, rel=0.15)
+
+    def test_read_fraction_matches_spec(self):
+        spec = workload("lbm")
+        trace = generate_trace(spec, 5000, seed=4)
+        reads = trace.reads / len(trace)
+        assert reads == pytest.approx(spec.read_fraction, abs=0.03)
+
+    def test_row_locality_creates_row_reuse(self):
+        streaming = generate_trace(workload("libquantum"), 2000, seed=5)
+        random_w = generate_trace(workload("mcf"), 2000, seed=5)
+
+        def row_reuse_fraction(trace, window=16):
+            """Accesses whose row was touched in the recent window
+            (streams interleave, so adjacency is windowed, not strict)."""
+            recent = []
+            reused = 0
+            for r in trace:
+                row = r.line // LINES_PER_ROW
+                if row in recent:
+                    reused += 1
+                recent.append(row)
+                if len(recent) > window:
+                    recent.pop(0)
+            return reused / len(trace)
+
+        assert row_reuse_fraction(streaming) > 0.7
+        assert row_reuse_fraction(random_w) < 0.35
+
+    def test_dependencies_only_on_reads(self):
+        trace = generate_trace(workload("mcf"), 2000, seed=6)
+        for r in trace:
+            if r.depends_on_prev:
+                assert r.op is OpType.READ
+
+    def test_lines_within_working_set(self):
+        spec = workload("xalancbmk")
+        trace = generate_trace(spec, 2000, seed=8)
+        assert all(0 <= r.line < spec.working_set_lines for r in trace)
+
+    def test_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            generate_trace(workload("milc"), 0)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_mpki(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mpki=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mpki=1, read_fraction=1.5)
+
+    def test_rejects_tiny_working_set(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mpki=1, working_set_lines=10)
+
+    def test_mean_gap(self):
+        spec = WorkloadSpec(name="x", mpki=10)
+        assert spec.mean_gap == pytest.approx(99.0)
+
+
+class TestSuite:
+    def test_paper_benchmarks_present(self):
+        for name in ("libquantum", "milc", "mcf", "GemsFDTD", "astar",
+                     "zeusmp", "xalancbmk", "lbm"):
+            assert name in SPEC2K6
+
+    def test_npb_present(self):
+        assert set(NPB) == {"CG", "SP"}
+
+    def test_evaluation_suite_is_papers_x_axis(self):
+        assert EVALUATION_SUITE[0] == "mix1"
+        assert EVALUATION_SUITE[-1] == "xalancbmk"
+        assert len(EVALUATION_SUITE) == 12
+
+    def test_intensity_contrast(self):
+        # The paper's dummy-fraction extremes rely on this ordering.
+        assert SPEC2K6["libquantum"].mpki > 10 * SPEC2K6["xalancbmk"].mpki
+
+    def test_rate_mode(self):
+        specs = rate_mode("milc", 8)
+        assert len(specs) == 8
+        assert all(s.name == "milc" for s in specs)
+
+    def test_mixes_have_eight_threads(self):
+        for names in MIXES.values():
+            assert len(names) == 8
+
+    def test_suite_specs_expands_mix(self):
+        specs = suite_specs("mix1", 8)
+        assert [s.name for s in specs] == MIXES["mix1"]
+
+    def test_suite_specs_rescales_mix(self):
+        specs = suite_specs("mix2", 4)
+        assert len(specs) == 4
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload("doom")
+
+
+class TestSyntheticCoRunners:
+    def test_idle_is_quiet(self):
+        assert idle_spec().mpki < 0.1
+
+    def test_intense_is_loud(self):
+        assert intense_spec().mpki > 50
+
+
+class TestTraceType:
+    def test_trace_statistics(self):
+        trace = generate_trace(workload("zeusmp"), 1000, seed=2)
+        assert trace.reads + trace.writes == 1000
+        assert trace.instructions >= 1000
+
+    @given(st.integers(1, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_any_size_generates(self, n):
+        trace = generate_trace(idle_spec(), n, seed=0)
+        assert len(trace) == n
