@@ -32,6 +32,14 @@ Packages:
   metrics, reporting.
 """
 
+from .errors import (
+    ConfigError,
+    FaultInjectionError,
+    ReproError,
+    ScheduleViolationError,
+    SimTimeoutError,
+    TraceError,
+)
 from .dram import (
     DDR3_1600_X4,
     DramSystem,
@@ -41,6 +49,7 @@ from .dram import (
 from .core import (
     FixedServiceController,
     FsEnergyOptions,
+    OnlineInvariantMonitor,
     PeriodicMode,
     PipelineSolver,
     ReorderedBpController,
@@ -50,6 +59,7 @@ from .core import (
     paper_solutions,
     validate_schedule,
 )
+from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from .controllers import (
     FcfsController,
     FrFcfsController,
@@ -58,8 +68,11 @@ from .controllers import (
 from .mapping import Geometry, make_partition
 from .sim import (
     SCHEMES,
+    FailedPoint,
     RunResult,
     SchemeOptions,
+    Sweep,
+    SweepPoint,
     System,
     SystemConfig,
     build_system,
@@ -81,16 +94,21 @@ from .analysis import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError", "ConfigError", "TraceError",
+    "ScheduleViolationError", "FaultInjectionError", "SimTimeoutError",
     "DDR3_1600_X4", "DramSystem", "TimingChecker", "TimingParams",
     "FixedServiceController", "FsEnergyOptions", "PeriodicMode",
     "PipelineSolver", "ReorderedBpController", "SharingLevel",
+    "OnlineInvariantMonitor",
     "build_fs_schedule", "build_triple_alternation_schedule",
     "paper_solutions", "validate_schedule",
+    "FaultInjector", "FaultKind", "FaultPlan", "FaultSpec",
     "FcfsController", "FrFcfsController",
     "TemporalPartitioningController",
     "Geometry", "make_partition",
     "SCHEMES", "RunResult", "SchemeOptions", "System", "SystemConfig",
     "build_system", "run_scheme",
+    "FailedPoint", "Sweep", "SweepPoint",
     "EVALUATION_SUITE", "WorkloadSpec", "generate_trace",
     "suite_specs", "workload",
     "interference_report", "run_covert_channel", "sum_weighted_ipc",

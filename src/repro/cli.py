@@ -8,6 +8,12 @@ Commands:
 * ``compare`` — run several schemes on one workload against the baseline.
 * ``audit``   — non-interference check for a scheme (Figure 4 style).
 * ``covert``  — covert-channel measurement through a scheme.
+* ``sweep``   — run a (scheme x workload) grid with failure isolation
+  and optional JSON checkpoint/resume.
+
+Any :class:`~repro.errors.ReproError` (bad config, malformed trace,
+unknown fault spec, schedule violation, ...) is reported on stderr and
+exits with status 2 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -27,8 +33,11 @@ from .core.schedule import (
 )
 from .core.pipeline_solver import PeriodicMode, SharingLevel
 from .dram.timing import DDR3_1600_X4
+from .errors import ReproError
+from .faults import FaultPlan
 from .sim.config import SystemConfig
 from .sim.runner import SCHEMES, SchemeOptions, run_scheme
+from .sim.sweep import Sweep
 from .workloads.spec import EVALUATION_SUITE, suite_specs, workload
 
 
@@ -80,24 +89,52 @@ def cmd_solve(args) -> int:
 
 def cmd_run(args) -> int:
     """Simulate one scheme on one workload and print a summary."""
+    from .sim.runner import build_system
+
     config = _config(args)
-    result = run_scheme(
-        args.scheme, config, suite_specs(args.workload, args.cores),
-        SchemeOptions(prefetch=args.prefetch),
+    plan = None
+    if args.inject:
+        plan = FaultPlan.parse(args.inject, seed=args.seed)
+    options = SchemeOptions(
+        prefetch=args.prefetch, faults=plan, monitor=args.monitor,
     )
+    system = build_system(
+        args.scheme, config, suite_specs(args.workload, args.cores),
+        options,
+    )
+    result = system.run()
+    rows = [
+        ["cycles", result.cycles],
+        ["reads completed", result.total_reads],
+        ["bus utilization", f"{result.bus_utilization:.1%}"],
+        ["mean read latency",
+         f"{result.stats.mean_read_latency:.1f}"],
+        ["dummy fraction", f"{result.stats.dummy_fraction:.1%}"],
+        ["energy (mJ)", f"{result.energy.total_mj:.3f}"],
+    ]
+    if plan is not None:
+        rows.append(["faulted slots", result.stats.faulted_slots])
+        rows.append(
+            ["squashed duplicates", result.stats.squashed_duplicates]
+        )
     print(format_table(
-        ["metric", "value"],
-        [
-            ["cycles", result.cycles],
-            ["reads completed", result.total_reads],
-            ["bus utilization", f"{result.bus_utilization:.1%}"],
-            ["mean read latency",
-             f"{result.stats.mean_read_latency:.1f}"],
-            ["dummy fraction", f"{result.stats.dummy_fraction:.1%}"],
-            ["energy (mJ)", f"{result.energy.total_mj:.3f}"],
-        ],
+        ["metric", "value"], rows,
         title=f"{args.scheme} on {args.workload} x {args.cores}",
     ))
+    injector = getattr(system.controller, "fault_injector", None)
+    if injector is not None:
+        print("\nfault campaign:")
+        print(injector.summary())
+    monitor = system.controller.monitor
+    if monitor is not None:
+        status = "CLEAN" if monitor.ok else (
+            f"{len(monitor.violations)} violation(s)"
+        )
+        print(f"\nonline invariant monitor: {status}")
+        for violation in monitor.violations[:10]:
+            print(f"  {violation}")
+        if not monitor.ok:
+            return 1
     return 0
 
 
@@ -148,6 +185,43 @@ def cmd_covert(args) -> int:
     return 0 if result.bit_error_rate >= 0.3 else 1
 
 
+def cmd_sweep(args) -> int:
+    """Run a (scheme x workload) grid with failure isolation.
+
+    Exit status 0 when every cell completed, 1 when any cell failed
+    (the failures are tabulated, not fatal — resilient by design).
+    """
+    config = _config(args)
+    sweep = Sweep(
+        config,
+        max_cycles=args.max_cycles,
+        checkpoint=args.checkpoint,
+        point_wall_budget_s=args.wall_budget,
+        strict=args.strict,
+    )
+    for scheme in args.schemes:
+        for wl in args.workloads:
+            sweep.run_point(scheme, wl)
+    rows = [
+        [p.scheme, p.workload, round(p.weighted_ipc, 3),
+         f"{p.bus_utilization:.1%}", f"{p.mean_read_latency:.1f}"]
+        for p in sweep.points
+    ]
+    print(format_table(
+        ["scheme", "workload", "weighted IPC", "bus util",
+         "read latency"],
+        rows, title=f"sweep grid ({args.cores} cores)",
+    ))
+    if sweep.failed_points:
+        print("\nfailed cells:")
+        for f in sweep.failed_points:
+            print(f"  {f.scheme} x {f.workload}: "
+                  f"{f.error_type}: {f.error}")
+    if args.checkpoint:
+        print(f"\ncheckpoint: {args.checkpoint}")
+    return 1 if sweep.failed_points else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all sub-commands."""
     parser = argparse.ArgumentParser(
@@ -166,6 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", help="benchmark or mix name "
                    f"(e.g. {', '.join(EVALUATION_SUITE[:4])}, ...)")
     p.add_argument("--prefetch", action="store_true")
+    p.add_argument(
+        "--inject", metavar="SPEC", default=None,
+        help="seed-deterministic fault campaign, e.g. "
+             "'drop_command:0.02,delay_slot:0.01' "
+             "(kinds: see repro.faults.FaultKind)",
+    )
+    p.add_argument(
+        "--monitor", action="store_true",
+        help="attach the online invariant monitor and report "
+             "violations (exit 1 when any fire)",
+    )
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
@@ -187,6 +272,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_covert)
 
+    p = sub.add_parser(
+        "sweep", help="resilient (scheme x workload) grid"
+    )
+    p.add_argument("--schemes", nargs="+", default=["fs_rp"],
+                   help=f"schemes to sweep ({', '.join(SCHEMES)})")
+    p.add_argument("--workloads", nargs="+", default=["mcf"],
+                   help="workload/mix names, one grid column each")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="JSON checkpoint; a killed sweep resumes from "
+                        "the last completed cell")
+    p.add_argument("--max-cycles", type=int, default=8_000_000,
+                   help="per-cell cycle budget")
+    p.add_argument("--wall-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-cell wall-clock budget; a cell exceeding "
+                        "it is recorded as failed instead of hanging")
+    p.add_argument("--strict", action="store_true",
+                   help="re-raise the first cell failure (CI gate)")
+    _add_common(p)
+    p.set_defaults(func=cmd_sweep)
+
     return parser
 
 
@@ -194,7 +300,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -52,6 +52,12 @@ class ControllerStats:
     #: Slots filled with a dummy although the domain had pending demand
     #: (blocked by a bank-class restriction or a self-hazard).
     blocked_slots: int = 0
+    #: Slots struck by an injected fault (dropped commands, delayed
+    #: service, spurious refresh collisions).
+    faulted_slots: int = 0
+    #: Duplicated commands squashed by the issue-path guard before they
+    #: could reach the command bus.
+    squashed_duplicates: int = 0
 
     @property
     def serviced(self) -> int:
@@ -113,6 +119,10 @@ class MemoryController(abc.ABC):
         self.now = 0
         self.stats = ControllerStats()
         self.log_commands = log_commands
+        #: Optional online watchdog (see
+        #: :class:`repro.core.online_monitor.OnlineInvariantMonitor`);
+        #: observes every service event and issued command live.
+        self.monitor = None
         #: Full command log (only when log_commands is set; used by the
         #: timing checker and the security tests).
         self.command_log: List[Command] = []
@@ -186,11 +196,17 @@ class MemoryController(abc.ABC):
     def _work(self, until: int) -> None:
         """Scheduling work between ``self.now`` and ``until``."""
 
+    def attach_monitor(self, monitor) -> None:
+        """Attach an online invariant watchdog to this controller."""
+        self.monitor = monitor
+
     def _issue(self, command: Command) -> Optional[int]:
         """Issue a command to its channel, with optional logging."""
         data_start = self.dram.channels[command.channel].issue(command)
         if self.log_commands:
             self.command_log.append(command)
+        if self.monitor is not None:
+            self.monitor.observe_command(command)
         return data_start
 
     def _schedule_release(self, request: Request, cycle: int) -> None:
@@ -201,12 +217,16 @@ class MemoryController(abc.ABC):
 
     def _trace(self, domain: int, cycle: int, what: str) -> None:
         self.service_trace[domain].append((cycle, what))
+        if self.monitor is not None:
+            self.monitor.observe_service(domain, cycle, what)
 
     # ------------------------------------------------------------------
 
     def finalize(self) -> None:
         """Close out power-state accounting at the current cycle."""
         self.dram.finalize(self.now)
+        if self.monitor is not None:
+            self.monitor.finalize()
 
     @property
     def name(self) -> str:

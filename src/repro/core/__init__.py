@@ -12,6 +12,8 @@ Contents:
 * :mod:`~repro.core.fs_controller` — the FS controller.
 * :mod:`~repro.core.fs_reordered` — reordered bank partitioning.
 * :mod:`~repro.core.energy_opts` — the Section 5.2 energy optimizations.
+* :mod:`~repro.core.online_monitor` — streaming runtime verification of
+  the JEDEC timing rules and FS schedule invariants.
 """
 
 from .pipeline_solver import (
@@ -51,6 +53,7 @@ from .energy_opts import (
 )
 from .fs_controller import FixedServiceController, PrefetchBuffer
 from .fs_reordered import ReorderedBpController
+from .online_monitor import OnlineInvariantMonitor
 
 __all__ = [
     "ConflictReport", "GroupedPipeline", "GroupedPipelineSolver",
@@ -68,4 +71,5 @@ __all__ = [
     "EnergyAdjustments", "FsEnergyOptions", "adjusted_energy",
     "FixedServiceController", "PrefetchBuffer",
     "ReorderedBpController",
+    "OnlineInvariantMonitor",
 ]

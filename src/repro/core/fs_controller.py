@@ -34,6 +34,7 @@ from ..dram.commands import (
 )
 from ..dram.refresh import RefreshScheduler
 from ..dram.system import DramSystem
+from ..faults import FaultInjector, FaultKind
 from ..mapping.partition import PartitionPolicy
 from .energy_opts import EnergyAdjustments, FsEnergyOptions
 from .pipeline_solver import SharingLevel
@@ -98,6 +99,7 @@ class FixedServiceController(MemoryController):
         prefetchers: Optional[Dict[int, object]] = None,
         refresh: "RefreshScheduler" = None,
         log_commands: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(dram, schedule.num_domains, log_commands)
         if channel >= dram.num_channels:
@@ -131,6 +133,11 @@ class FixedServiceController(MemoryController):
         self._staged: List[Tuple[int, int, Command]] = []
         self._stage_seq = itertools.count()
         self._next_slot = 0
+        #: Optional fault-injection oracle; every predicate it answers is
+        #: a pure function of (seed, domain, the domain's own progress),
+        #: so faults cannot carry information between domains.
+        self.fault_injector = fault_injector
+        self._last_issued_key: Optional[Tuple] = None
         # Decisions must lead the earliest possible command of a slot.
         self._decision_lead = self._earliest_command_offset()
         self.refresh = refresh
@@ -270,6 +277,12 @@ class FixedServiceController(MemoryController):
             )
             return
         self._queues[request.domain].append(request)
+        if self.fault_injector is not None:
+            # Transient queue-overflow faults are armed per actual
+            # enqueue, i.e. per position in the domain's own stream.
+            self.fault_injector.note_enqueue(
+                request.domain, request.arrival
+            )
 
     def pending(self, domain: Optional[int] = None) -> int:
         if domain is not None:
@@ -277,8 +290,16 @@ class FixedServiceController(MemoryController):
         return sum(len(q) for q in self._queues.values())
 
     def can_accept(self, domain: int) -> bool:
-        """Back-pressure is a pure function of the domain's own queue."""
-        return len(self._queues[domain]) < self.QUEUE_CAPACITY
+        """Back-pressure is a pure function of the domain's own queue
+        (and, under fault injection, of the domain's own fault schedule —
+        a transient overflow shrinks only the faulted domain's capacity,
+        stalling only the owning core)."""
+        capacity = self.QUEUE_CAPACITY
+        if self.fault_injector is not None:
+            capacity = self.fault_injector.effective_capacity(
+                domain, capacity
+            )
+        return len(self._queues[domain]) < capacity
 
     def next_event(self) -> Optional[int]:
         """FS always has a next slot; report the sooner of the next slot
@@ -311,6 +332,17 @@ class FixedServiceController(MemoryController):
                 continue
             if staged_at is not None and staged_at <= until:
                 _, _, command = heapq.heappop(self._staged)
+                key = (
+                    command.type, command.cycle, command.channel,
+                    command.rank, command.bank, command.row,
+                )
+                if key == self._last_issued_key:
+                    # Issue-path guard: a duplicated command (fault model
+                    # ``duplicate_command``) is squashed before it can
+                    # collide on the command bus or disturb bank state.
+                    self.stats.squashed_duplicates += 1
+                    continue
+                self._last_issued_key = key
                 self._issue(command)
                 continue
             break
@@ -332,6 +364,35 @@ class FixedServiceController(MemoryController):
                 self.stats.bubbles += 1
                 self._trace(domain, anchor, "-")
                 return
+        injector = self.fault_injector
+        if injector is not None:
+            if injector.refresh_collision(domain, g):
+                # A spurious refresh blackout: the slot becomes a bubble
+                # (exactly what a real blackout produces) and the demand
+                # stays queued for the domain's next slot.
+                injector.record(
+                    FaultKind.REFRESH_COLLISION, domain, anchor,
+                    "spurious refresh blackout",
+                )
+                self.stats.faulted_slots += 1
+                self.stats.bubbles += 1
+                self._trace(domain, anchor, "-")
+                return
+            if injector.delay_slot(domain, g):
+                # Slot logic stalled for one slot: externally the slot
+                # looks exactly like an empty-queue slot (dummy or
+                # bubble); the demand is served at the domain's next
+                # slot, never a borrowed one.
+                injector.record(
+                    FaultKind.DELAY_SLOT, domain, anchor,
+                    "slot service delayed to next own slot",
+                )
+                self.stats.faulted_slots += 1
+                self._fill_like_empty(domain, spec, anchor, decide_at)
+                return
+            if injector.borrow_foreign_slot(domain, g) and \
+                    self._borrow_foreign(domain, spec, anchor, decide_at):
+                return
         request = self._select_demand(domain, spec, anchor, decide_at)
         if request is not None:
             self._queues[domain].remove(request)
@@ -352,6 +413,59 @@ class FixedServiceController(MemoryController):
             return
         self.stats.bubbles += 1
         self._trace(domain, anchor, "-")
+
+    def _fill_like_empty(
+        self, domain: int, spec: SlotSpec, anchor: int, decide_at: int
+    ) -> None:
+        """Fill a slot exactly as if the domain's queue were empty: a
+        dummy when legal, a bubble otherwise.  Used by the delay-slot
+        fault path so a fault is externally indistinguishable from an
+        idle slot."""
+        dummy = self._select_dummy(domain, spec, anchor, decide_at)
+        if dummy is not None:
+            self._dispatch(dummy, spec, anchor)
+            return
+        self.stats.bubbles += 1
+        self._trace(domain, anchor, "-")
+
+    def _borrow_foreign(
+        self, domain: int, spec: SlotSpec, anchor: int, decide_at: int
+    ) -> bool:
+        """DELIBERATELY BROKEN recovery policy — test-only.
+
+        Serves another domain's backlog inside this domain's slot.  This
+        is precisely the recovery shortcut the paper's security argument
+        forbids: the borrowed service lands at a foreign slot offset, so
+        the borrowing is observable and re-opens the timing channel
+        (Kadloor et al. make the same point for TDMA slot borrowing).
+        It exists only so the test-suite can prove the online watchdog
+        catches a broken recovery path the cycle it happens.
+        """
+        for other in range(self.num_domains):
+            if other == domain:
+                continue
+            for request in self._queues[other]:
+                if request.arrival > decide_at:
+                    continue
+                # Stay JEDEC-polite (the DRAM model would reject the
+                # commands outright otherwise): the breakage here is the
+                # *schedule* invariant, which only the watchdog sees.
+                times = self.schedule.command_times(
+                    anchor, request.is_read
+                )
+                if not self._hazards[other].legal(
+                    times, request.address, request.is_read
+                ):
+                    continue
+                self._queues[other].remove(request)
+                if self.fault_injector is not None:
+                    self.fault_injector.record(
+                        FaultKind.BORROW_FOREIGN_SLOT, other, anchor,
+                        f"served in domain {domain}'s slot",
+                    )
+                self._dispatch(request, spec, anchor)
+                return True
+        return False
 
     def _try_power_down(self, domain: int, spec: SlotSpec,
                         anchor: int) -> bool:
@@ -487,6 +601,25 @@ class FixedServiceController(MemoryController):
         times = self.schedule.command_times(anchor, request.is_read)
         self._hazards[domain].commit(times, addr, request.is_read)
 
+        injector = self.fault_injector
+        if injector is not None and injector.drop_command(domain, anchor):
+            # The transaction's commands are lost in transit.  Security-
+            # preserving recovery: commit the hazards conservatively (the
+            # controller cannot know the loss yet), keep the slot's
+            # external appearance, and re-issue the transaction in the
+            # SAME domain's next slot — never a borrowed foreign slot,
+            # which would leak the fault to a co-runner.
+            injector.record(
+                FaultKind.DROP_COMMAND, domain, anchor,
+                f"{request.kind.value} commands dropped; "
+                f"retrying next own slot",
+            )
+            self.stats.faulted_slots += 1
+            if request.kind is RequestKind.DEMAND:
+                self._queues[domain].insert(0, request)
+            self._trace(domain, anchor, "F")
+            return
+
         bank_key = (addr.rank, addr.bank)
         row_hit = self._last_row[domain].get(bank_key) == addr.row
         self._last_row[domain][bank_key] = addr.row
@@ -507,10 +640,22 @@ class FixedServiceController(MemoryController):
                 CommandType.COL_READ_AP if request.is_read
                 else CommandType.COL_WRITE_AP
             )
-            self._stage(Command(
+            act = Command(
                 CommandType.ACTIVATE, times.act, self.channel_id,
                 addr.rank, addr.bank, addr.row, request.req_id, domain,
-            ))
+            )
+            self._stage(act)
+            if injector is not None and injector.duplicate_command(
+                domain, anchor
+            ):
+                # Fault model: the staging logic repeats the ACT; the
+                # issue-path guard in _work squashes the copy before it
+                # can reach the command bus.
+                injector.record(
+                    FaultKind.DUPLICATE_COMMAND, domain, anchor,
+                    "ACT staged twice",
+                )
+                self._stage(act)
             self._stage(Command(
                 col_type, times.col, self.channel_id, addr.rank,
                 addr.bank, addr.row, request.req_id, domain,

@@ -28,6 +28,7 @@ from ..dram.commands import (
     RequestKind,
 )
 from ..dram.system import DramSystem
+from ..faults import FaultInjector, FaultKind
 from ..mapping.partition import PartitionPolicy
 from .energy_opts import EnergyAdjustments, FsEnergyOptions
 from .schedule import CommandTimes, ReorderedBpGeometry, \
@@ -49,6 +50,7 @@ class ReorderedBpController(MemoryController):
         channel: int = 0,
         energy_options: FsEnergyOptions = None,
         log_commands: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(dram, num_domains, log_commands)
         self.partition = partition
@@ -73,6 +75,8 @@ class ReorderedBpController(MemoryController):
         self._staged: List[Tuple[int, int, Command]] = []
         self._stage_seq = itertools.count()
         self._next_interval = 0
+        self.fault_injector = fault_injector
+        self._last_issued_key: Optional[Tuple] = None
         # The earliest command of an interval precedes its first data
         # burst by tRCD + tCAS (a read activate).
         self._lead = dram.params.tRCD + max(
@@ -94,6 +98,10 @@ class ReorderedBpController(MemoryController):
         if request.address.channel != self.channel_id:
             raise ValueError("request routed to the wrong FS channel")
         self._queues[request.domain].append(request)
+        if self.fault_injector is not None:
+            self.fault_injector.note_enqueue(
+                request.domain, request.arrival
+            )
 
     def pending(self, domain: Optional[int] = None) -> int:
         if domain is not None:
@@ -126,6 +134,16 @@ class ReorderedBpController(MemoryController):
                 continue
             if staged_at is not None and staged_at <= until:
                 _, _, command = heapq.heappop(self._staged)
+                key = (
+                    command.type, command.cycle, command.channel,
+                    command.rank, command.bank, command.row,
+                )
+                if key == self._last_issued_key:
+                    # Squash duplicated commands before they reach the
+                    # bus (fault model ``duplicate_command``).
+                    self.stats.squashed_duplicates += 1
+                    continue
+                self._last_issued_key = key
                 self._issue(command)
                 continue
             break
@@ -138,7 +156,7 @@ class ReorderedBpController(MemoryController):
         decide_at = self._decide_cycle(index)
         picks: List[Request] = []
         for domain in range(self.num_domains):
-            request = self._pick(domain, start, decide_at)
+            request = self._pick(domain, start, decide_at, index)
             if request is not None:
                 picks.append(request)
             else:
@@ -160,11 +178,25 @@ class ReorderedBpController(MemoryController):
             )
 
     def _pick(
-        self, domain: int, start: int, decide_at: int
+        self, domain: int, start: int, decide_at: int,
+        interval_index: int = 0,
     ) -> Optional[Request]:
         tracker = self._hazards[domain]
+        injector = self.fault_injector
+        delayed = injector is not None and injector.delay_slot(
+            domain, interval_index
+        )
+        if delayed:
+            # Interval logic stalled for this domain: its demand waits
+            # for the domain's next interval; the interval is filled
+            # exactly like an empty-queue one (dummy below).
+            injector.record(
+                FaultKind.DELAY_SLOT, domain, start,
+                "interval service delayed to next interval",
+            )
+            self.stats.faulted_slots += 1
         scanned = 0
-        for request in self._queues[domain]:
+        for request in self._queues[domain] if not delayed else ():
             if request.arrival > decide_at:
                 continue
             scanned += 1
@@ -221,6 +253,30 @@ class ReorderedBpController(MemoryController):
             self._times(hazard_data_at, request.is_read),
             addr, request.is_read,
         )
+        injector = self.fault_injector
+        # SECURITY: the fault key must be position-independent too —
+        # ``data_at`` encodes the slot position (which depends on the
+        # co-runners' read/write mix), so keying the drop on it would
+        # let a co-runner modulate the victim's fault schedule.  Key on
+        # the interval's release point instead: a pure function of the
+        # interval index.
+        if injector is not None and injector.drop_command(
+            domain, release_at
+        ):
+            # Commands lost in transit: hazards stay committed
+            # (conservative), the observable stays the interval-granular
+            # trace event, and the demand is re-issued in the SAME
+            # domain's next interval.
+            injector.record(
+                FaultKind.DROP_COMMAND, domain, data_at,
+                f"{request.kind.value} commands dropped; "
+                f"retrying next interval",
+            )
+            self.stats.faulted_slots += 1
+            if request.kind is RequestKind.DEMAND:
+                self._queues[domain].insert(0, request)
+            self._trace(domain, release_at, "F")
+            return
         suppress = (
             request.kind is RequestKind.DUMMY
             and self.energy_options.suppress_dummies

@@ -101,13 +101,22 @@ def assert_non_interference(
     victim,
     co_runners: Optional[Sequence] = None,
     config=None,
+    options=None,
 ) -> None:
     """Raise AssertionError with a diff summary if the victim's view
     changes under any co-runner (thin wrapper over
-    :func:`repro.analysis.leakage.interference_report`)."""
+    :func:`repro.analysis.leakage.interference_report`).
+
+    ``options`` rides through to the runner, so the property can be
+    asserted under non-default knobs — notably with a
+    :class:`~repro.faults.FaultPlan` armed, which is how the test-suite
+    proves fault recovery itself is leakage-free.
+    """
     from ..analysis.leakage import interference_report
 
-    report = interference_report(scheme, victim, co_runners, config)
+    report = interference_report(
+        scheme, victim, co_runners, config, options
+    )
     if report.identical:
         return
     lines = [f"{scheme} leaks information to domain 0:"]

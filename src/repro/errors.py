@@ -1,0 +1,90 @@
+"""Structured exception hierarchy for the whole simulation stack.
+
+Every error the toolkit raises on purpose derives from :class:`ReproError`
+so callers (the CLI, the sweep driver, CI harnesses) can distinguish
+"this experiment is mis-specified / this run broke an invariant" from a
+genuine bug in the simulator:
+
+* :class:`ConfigError` — an experiment was requested with an impossible
+  or inconsistent platform configuration (e.g. a rank-partitioned scheme
+  with fewer ranks than security domains).
+* :class:`TraceError` — a workload trace is malformed or violates the
+  trace contract (bad direction, non-hex address, negative gap).
+* :class:`ScheduleViolationError` — the online invariant watchdog caught
+  the controller deviating from its fixed timetable *while the run was
+  still in flight*.  This is the security-critical one: a deviation is a
+  potential timing channel, so the run must stop the cycle it happens.
+* :class:`FaultInjectionError` — a fault-injection campaign was
+  mis-specified (unknown fault kind, rate out of range).
+* :class:`SimTimeoutError` — a run exceeded its cycle or wall-clock
+  budget; sweeps record these and move on instead of aborting the grid.
+
+``ConfigError`` and ``TraceError`` also subclass :class:`ValueError` so
+pre-existing callers that caught ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for every intentional error raised by this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An experiment configuration is invalid or internally inconsistent."""
+
+
+class TraceError(ReproError, ValueError):
+    """A workload trace is malformed or breaks the trace contract."""
+
+
+class ScheduleViolationError(ReproError):
+    """The online watchdog caught a deviation from the FS timetable.
+
+    Carries the security domain whose isolation was broken and the memory
+    cycle at which the deviation became observable, so a log line alone
+    pinpoints the breach.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        domain: Optional[int] = None,
+        cycle: Optional[int] = None,
+    ) -> None:
+        detail = reason
+        if domain is not None or cycle is not None:
+            where = []
+            if domain is not None:
+                where.append(f"domain {domain}")
+            if cycle is not None:
+                where.append(f"cycle {cycle}")
+            detail = f"{' @ '.join(where)}: {reason}"
+        super().__init__(detail)
+        self.reason = reason
+        self.domain = domain
+        self.cycle = cycle
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection campaign is mis-specified."""
+
+
+class SimTimeoutError(ReproError):
+    """A simulation exceeded its cycle or wall-clock budget."""
+
+    def __init__(self, reason: str, cycle: Optional[int] = None) -> None:
+        super().__init__(reason)
+        self.cycle = cycle
+
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "ScheduleViolationError",
+    "FaultInjectionError",
+    "SimTimeoutError",
+]

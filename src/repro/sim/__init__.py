@@ -11,7 +11,7 @@ from .runner import (
     partition_for,
     run_scheme,
 )
-from .sweep import Sweep, SweepPoint
+from .sweep import FailedPoint, Sweep, SweepPoint
 
 __all__ = [
     "SystemConfig", "TABLE1_CONFIG", "full_target_config",
@@ -19,5 +19,5 @@ __all__ = [
     "CoreResult", "RunResult", "System",
     "SCHEMES", "SchemeOptions", "build_controller", "build_system",
     "partition_for", "run_scheme",
-    "Sweep", "SweepPoint",
+    "FailedPoint", "Sweep", "SweepPoint",
 ]

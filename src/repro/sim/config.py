@@ -7,7 +7,18 @@ from typing import Optional
 
 from ..cpu.core_model import CoreParams
 from ..dram.timing import TimingParams, DDR3_1600_X4
+from ..errors import ConfigError
 from ..mapping.address import Geometry
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+#: Schemes that hand each domain whole ranks.
+RANK_PARTITIONED_SCHEMES = ("fs_rp", "fs_rp_mc")
+#: Schemes that hand each domain a disjoint bank set.
+BANK_PARTITIONED_SCHEMES = ("fs_bp", "fs_reordered_bp", "tp_bp")
 
 
 @dataclass(frozen=True)
@@ -25,9 +36,51 @@ class SystemConfig:
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
-            raise ValueError("need at least one core")
+            raise ConfigError("need at least one core")
         if self.accesses_per_core < 1:
-            raise ValueError("need at least one access per core")
+            raise ConfigError("need at least one access per core")
+        g = self.geometry
+        for name in ("channels", "ranks", "banks", "rows", "columns"):
+            value = getattr(g, name)
+            if value < 1:
+                raise ConfigError(
+                    f"geometry.{name} must be positive, got {value}"
+                )
+
+    def validate_for_scheme(self, scheme: str) -> None:
+        """Check the platform can actually host ``scheme``.
+
+        Partitioned schemes carve the geometry into per-domain shares;
+        requesting them with fewer ranks/banks than security domains (or
+        with a bank count the per-row interleave cannot split evenly)
+        would silently alias domains onto shared resources — the exact
+        leak the scheme claims to close.  Fail loudly instead.
+        """
+        g = self.geometry
+        n = self.num_cores
+        if scheme in RANK_PARTITIONED_SCHEMES:
+            total_ranks = g.channels * g.ranks
+            if total_ranks < n:
+                raise ConfigError(
+                    f"scheme {scheme!r} rank-partitions {n} domains but "
+                    f"the geometry has only {total_ranks} rank(s) "
+                    f"({g.channels} channel(s) x {g.ranks} rank(s)); "
+                    f"need at least one rank per domain"
+                )
+        if scheme in BANK_PARTITIONED_SCHEMES:
+            total_banks = g.channels * g.ranks * g.banks
+            if total_banks < n:
+                raise ConfigError(
+                    f"scheme {scheme!r} bank-partitions {n} domains but "
+                    f"the geometry has only {total_banks} bank(s); "
+                    f"need at least one bank per domain"
+                )
+            if not _is_power_of_two(g.banks):
+                raise ConfigError(
+                    f"scheme {scheme!r} interleaves within bank shares; "
+                    f"banks per rank must be a power of two, got "
+                    f"{g.banks}"
+                )
 
     def with_cores(self, num_cores: int) -> "SystemConfig":
         """A copy scaled to a different core count with as many ranks as

@@ -33,8 +33,10 @@ from ..core.fs_reordered import ReorderedBpController
 from ..core.pipeline_solver import SharingLevel
 from ..core.schedule import build_fs_schedule, \
     build_triple_alternation_schedule
+from ..core.online_monitor import OnlineInvariantMonitor
 from ..cpu.core_model import Core
 from ..dram.system import DramSystem
+from ..faults import FaultInjector, FaultPlan
 from ..mapping.partition import (
     BankPartition,
     NoPartition,
@@ -74,6 +76,19 @@ class SchemeOptions:
     #: alternation's bank-class coverage.
     address_order: Optional[tuple] = None
     log_commands: bool = False
+    #: Seed-deterministic fault campaign (see :mod:`repro.faults`).  An
+    #: immutable plan, instantiated afresh for every run so one run's
+    #: fault schedule can never bleed into the next.  Slot-level faults
+    #: apply to the FS controllers; ``corrupt_trace`` applies to every
+    #: scheme's workload generation.
+    faults: Optional[FaultPlan] = None
+    #: Attach an :class:`~repro.core.online_monitor
+    #: .OnlineInvariantMonitor` watchdog to the controller.
+    monitor: bool = False
+    #: Make the watchdog raise :class:`~repro.errors
+    #: .ScheduleViolationError` the cycle an invariant breaks (instead
+    #: of accumulating violations for post-run inspection).
+    monitor_strict: bool = False
 
 
 def _channel_part_geometry(config: SystemConfig):
@@ -124,13 +139,35 @@ def partition_for(
     return NoPartition(config.geometry, config.num_cores, mapper=mapper)
 
 
+def _attach_runtime_verification(
+    controller: MemoryController,
+    config: SystemConfig,
+    options: SchemeOptions,
+) -> None:
+    """Hook up the online watchdog when the options ask for one."""
+    if not options.monitor:
+        return
+    schedule = getattr(controller, "schedule", None)
+    controller.attach_monitor(OnlineInvariantMonitor(
+        config.timing,
+        schedule=schedule,
+        strict=options.monitor_strict,
+    ))
+
+
 def build_controller(
     scheme: str,
     config: SystemConfig,
     partition: PartitionPolicy,
     options: SchemeOptions,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> MemoryController:
     """Instantiate the memory controller for a scheme name."""
+    config.validate_for_scheme(scheme)
+    if fault_injector is None and options.faults is not None and (
+        not options.faults.empty
+    ):
+        fault_injector = options.faults.injector()
     dram = DramSystem(
         config.timing,
         num_channels=config.geometry.channels,
@@ -197,6 +234,7 @@ def build_controller(
             prefetchers=prefetchers,
             refresh=refresh,
             log_commands=options.log_commands,
+            fault_injector=fault_injector,
         )
     if scheme == "fs_np_ta":
         schedule = build_triple_alternation_schedule(config.timing, n)
@@ -204,12 +242,14 @@ def build_controller(
             dram, schedule, partition,
             energy_options=options.energy,
             log_commands=options.log_commands,
+            fault_injector=fault_injector,
         )
     if scheme == "fs_reordered_bp":
         return ReorderedBpController(
             dram, partition, n,
             energy_options=options.energy,
             log_commands=options.log_commands,
+            fault_injector=fault_injector,
         )
     raise ValueError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
 
@@ -223,19 +263,28 @@ def build_system(
     """Assemble controller + partition + cores for one run."""
     if len(specs) != config.num_cores:
         raise ValueError("one workload spec per core required")
+    config.validate_for_scheme(scheme)
     options = options or SchemeOptions()
+    fault_injector = None
+    if options.faults is not None and not options.faults.empty:
+        # One fresh injector per run: the plan is immutable, the
+        # injector's progress counters are not.
+        fault_injector = options.faults.injector()
     partition = partition_for(scheme, config, options)
-    controller = build_controller(scheme, config, partition, options)
-    cores = [
-        Core(
-            domain=d,
-            trace=generate_trace(
-                spec, config.accesses_per_core, seed=config.seed + d
-            ),
-            params=config.core,
+    controller = build_controller(
+        scheme, config, partition, options, fault_injector
+    )
+    _attach_runtime_verification(controller, config, options)
+    cores = []
+    for d, spec in enumerate(specs):
+        trace = generate_trace(
+            spec, config.accesses_per_core, seed=config.seed + d
         )
-        for d, spec in enumerate(specs)
-    ]
+        if fault_injector is not None:
+            trace = fault_injector.corrupt_trace(trace, d)
+        cores.append(Core(
+            domain=d, trace=trace, params=config.core,
+        ))
     return System(controller, partition, cores, scheme=scheme)
 
 
@@ -245,7 +294,8 @@ def run_scheme(
     specs: Sequence[WorkloadSpec],
     options: Optional[SchemeOptions] = None,
     max_cycles: int = 10_000_000,
+    wall_budget_s: Optional[float] = None,
 ) -> RunResult:
     """Build and run one scheme to completion."""
     system = build_system(scheme, config, specs, options)
-    return system.run(max_cycles=max_cycles)
+    return system.run(max_cycles=max_cycles, wall_budget_s=wall_budget_s)

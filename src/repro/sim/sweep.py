@@ -4,17 +4,38 @@ Thin orchestration over :mod:`repro.sim.runner`: run a grid of
 (scheme x workload x knob) simulations and collect the metric the paper
 plots.  Used by the Figure 5 / Figure 10 benchmarks and handy for ad-hoc
 exploration.
+
+Sweeps are *resilient* by design (production grids run for hours):
+
+* a failing cell is isolated into :attr:`Sweep.failed_points` with the
+  captured exception instead of aborting the whole grid;
+* each cell runs under a cycle budget (``max_cycles``) and an optional
+  wall-clock budget (``point_wall_budget_s``) that raises
+  :class:`~repro.errors.SimTimeoutError` instead of hanging the grid;
+* with a ``checkpoint`` path, every completed (or failed) cell is
+  persisted to JSON atomically, and a killed sweep resumes from the last
+  completed cell — re-running the same grid reproduces the exact same
+  :class:`SweepPoint` table without re-simulating finished cells.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
+    Tuple
 
+from ..errors import ReproError
 from ..workloads.spec import suite_specs
 from .config import SystemConfig
 from .runner import SchemeOptions, run_scheme
 from .system import RunResult
+
+#: Checkpoint schema version (bump on incompatible change).
+CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -31,6 +52,23 @@ class SweepPoint:
     energy_pj: float
 
 
+@dataclass(frozen=True)
+class FailedPoint:
+    """One cell whose simulation raised instead of completing."""
+
+    scheme: str
+    workload: str
+    cores: int
+    label: str
+    error_type: str
+    error: str
+
+
+def _point_key(scheme: str, workload: str, cores: int,
+               label: str) -> Tuple[str, str, int, str]:
+    return (scheme, workload, cores, label)
+
+
 class Sweep:
     """Run and tabulate a grid of simulations against a baseline."""
 
@@ -39,24 +77,90 @@ class Sweep:
         config: SystemConfig,
         baseline_scheme: str = "baseline",
         max_cycles: int = 8_000_000,
+        checkpoint: Optional[str] = None,
+        point_wall_budget_s: Optional[float] = None,
+        strict: bool = False,
     ) -> None:
         self.config = config
         self.baseline_scheme = baseline_scheme
         self.max_cycles = max_cycles
-        self._baselines: Dict[Tuple[str, int], RunResult] = {}
+        self.checkpoint = checkpoint
+        self.point_wall_budget_s = point_wall_budget_s
+        #: When True, a failing cell re-raises instead of being recorded
+        #: (the pre-resilience behaviour; also what a CI gate wants).
+        self.strict = strict
+        #: Baselines keyed *defensively*: the key includes the full
+        #: (frozen, hashable) config, so mutating ``self.config`` between
+        #: points can never alias a stale baseline onto a new grid.
+        self._baselines: Dict[Tuple, RunResult] = {}
         self.points: List[SweepPoint] = []
+        self.failed_points: List[FailedPoint] = []
+        self._completed: Dict[Tuple[str, str, int, str], SweepPoint] = {}
+        if checkpoint is not None:
+            self._load_checkpoint()
+
+    # ------------------------------------------------------------------
+    # Checkpointing.
+    # ------------------------------------------------------------------
+
+    def _load_checkpoint(self) -> None:
+        if self.checkpoint is None or not os.path.exists(self.checkpoint):
+            return
+        with open(self.checkpoint) as handle:
+            data = json.load(handle)
+        if data.get("version") != CHECKPOINT_VERSION:
+            return  # incompatible checkpoint: start fresh
+        for raw in data.get("points", []):
+            point = SweepPoint(**raw)
+            self.points.append(point)
+            self._completed[_point_key(
+                point.scheme, point.workload, point.cores, point.label
+            )] = point
+        for raw in data.get("failed", []):
+            self.failed_points.append(FailedPoint(**raw))
+
+    def _save_checkpoint(self) -> None:
+        if self.checkpoint is None:
+            return
+        data = {
+            "version": CHECKPOINT_VERSION,
+            "baseline_scheme": self.baseline_scheme,
+            "max_cycles": self.max_cycles,
+            "points": [dataclasses.asdict(p) for p in self.points],
+            "failed": [dataclasses.asdict(p) for p in self.failed_points],
+        }
+        # Atomic write: a kill mid-dump must never corrupt the file.
+        directory = os.path.dirname(os.path.abspath(self.checkpoint))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".sweep-ckpt-"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle, indent=1)
+            os.replace(tmp_path, self.checkpoint)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+
+    def _config_for(self, cores: int) -> SystemConfig:
+        return (
+            self.config if cores == self.config.num_cores
+            else self.config.with_cores(cores)
+        )
 
     def _baseline(self, workload: str, cores: int) -> RunResult:
-        key = (workload, cores)
+        key = (self.baseline_scheme, workload, cores, self.config)
         if key not in self._baselines:
-            config = (
-                self.config if cores == self.config.num_cores
-                else self.config.with_cores(cores)
-            )
             self._baselines[key] = run_scheme(
-                self.baseline_scheme, config,
+                self.baseline_scheme, self._config_for(cores),
                 suite_specs(workload, cores),
                 max_cycles=self.max_cycles,
+                wall_budget_s=self.point_wall_budget_s,
             )
         return self._baselines[key]
 
@@ -67,29 +171,53 @@ class Sweep:
         cores: Optional[int] = None,
         label: str = "",
         options: Optional[SchemeOptions] = None,
-    ) -> SweepPoint:
-        """Run one cell and record it."""
+    ) -> Optional[SweepPoint]:
+        """Run one cell and record it.
+
+        Returns the completed :class:`SweepPoint`, a checkpointed one
+        when this cell already finished in a previous (interrupted) run,
+        or ``None`` when the cell failed and was isolated into
+        :attr:`failed_points` (unless :attr:`strict`, which re-raises).
+        """
         cores = cores or self.config.num_cores
-        config = (
-            self.config if cores == self.config.num_cores
-            else self.config.with_cores(cores)
-        )
-        result = run_scheme(
-            scheme, config, suite_specs(workload, cores),
-            options, max_cycles=self.max_cycles,
-        )
-        baseline = self._baseline(workload, cores)
+        label = label or scheme
+        key = _point_key(scheme, workload, cores, label)
+        done = self._completed.get(key)
+        if done is not None:
+            return done
+        try:
+            result = run_scheme(
+                scheme, self._config_for(cores),
+                suite_specs(workload, cores),
+                options, max_cycles=self.max_cycles,
+                wall_budget_s=self.point_wall_budget_s,
+            )
+            baseline = self._baseline(workload, cores)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            if self.strict:
+                raise
+            self.failed_points.append(FailedPoint(
+                scheme=scheme, workload=workload, cores=cores,
+                label=label, error_type=type(exc).__name__,
+                error=str(exc),
+            ))
+            self._save_checkpoint()
+            return None
         point = SweepPoint(
             scheme=scheme,
             workload=workload,
             cores=cores,
-            label=label or scheme,
+            label=label,
             weighted_ipc=result.weighted_ipc(baseline),
             bus_utilization=result.bus_utilization,
             mean_read_latency=result.stats.mean_read_latency,
             energy_pj=result.energy.total_pj,
         )
         self.points.append(point)
+        self._completed[key] = point
+        self._save_checkpoint()
         return point
 
     def turn_length_sweep(
@@ -102,7 +230,7 @@ class Sweep:
         scheme = "tp_bp" if bank_partitioned else "tp_np"
         out: Dict[int, List[SweepPoint]] = {}
         for turn in turn_lengths:
-            out[turn] = [
+            cells = [
                 self.run_point(
                     scheme, wl,
                     label=f"{scheme}_{turn}",
@@ -110,6 +238,7 @@ class Sweep:
                 )
                 for wl in workloads
             ]
+            out[turn] = [c for c in cells if c is not None]
         return out
 
     def core_count_sweep(
@@ -122,9 +251,12 @@ class Sweep:
         out: Dict[Tuple[str, int], List[SweepPoint]] = {}
         for scheme in schemes:
             for cores in core_counts:
-                out[(scheme, cores)] = [
+                cells = [
                     self.run_point(scheme, wl, cores=cores)
                     for wl in workloads
+                ]
+                out[(scheme, cores)] = [
+                    c for c in cells if c is not None
                 ]
         return out
 

@@ -14,10 +14,12 @@ together in event order:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..controllers.base import MemoryController
+from ..errors import SimTimeoutError
 from ..cpu.core_model import Core
 from ..dram.commands import Request, RequestKind
 from ..dram.power import EnergyBreakdown, PowerModel
@@ -111,14 +113,35 @@ class System:
         self,
         max_cycles: int = 10_000_000,
         target_reads: Optional[int] = None,
+        wall_budget_s: Optional[float] = None,
     ) -> RunResult:
-        """Simulate until every core finishes (or a bound is hit)."""
+        """Simulate until every core finishes (or a bound is hit).
+
+        ``wall_budget_s`` arms a wall-clock budget for the run; when it
+        is exceeded a :class:`~repro.errors.SimTimeoutError` is raised so
+        a sweep can record the cell as failed and keep going instead of
+        hanging the whole grid on one pathological point.
+        """
         controller = self.controller
         clock = 0
         reads_done = 0
+        deadline = (
+            time.monotonic() + wall_budget_s
+            if wall_budget_s is not None else None
+        )
+        iterations = 0
         for i in range(len(self.cores)):
             self._pump(i)
         while True:
+            if deadline is not None and iterations % 256 == 0 and (
+                time.monotonic() > deadline
+            ):
+                raise SimTimeoutError(
+                    f"wall-clock budget of {wall_budget_s}s exceeded "
+                    f"at cycle {clock} (scheme {self.scheme})",
+                    cycle=clock,
+                )
+            iterations += 1
             if all(core.done for core in self.cores):
                 break
             if target_reads is not None and reads_done >= target_reads:

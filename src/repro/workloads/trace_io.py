@@ -14,20 +14,34 @@ depends on the previous read (pointer chasing).  Lines starting with
 from __future__ import annotations
 
 import io
+import re
 from typing import Iterable, Iterator, List, TextIO, Union
 
 from ..dram.commands import OpType
+from ..errors import TraceError
 from ..cpu.trace import Trace, TraceRecord
 
+#: A line address: hex digits, with or without a ``0x`` prefix.  Bare
+#: digit runs (``1234``) are *hex* too — the USIMM format is hex-only,
+#: so ``10`` means sixteen.  Anything else (``0o17``, ``12g4``, ``1_0``)
+#: is rejected rather than silently misparsed.
+_ADDRESS_RE = re.compile(r"(?:0[xX])?[0-9a-fA-F]+\Z")
 
-class TraceFormatError(ValueError):
-    """Raised when a trace file line cannot be parsed."""
+
+class TraceFormatError(TraceError):
+    """Raised when a trace file line cannot be parsed.
+
+    Carries both the 1-based :attr:`line_number` and the bare
+    :attr:`reason` (without line context) so tools can aggregate
+    failure modes across files.
+    """
 
     def __init__(self, line_number: int, line: str, reason: str) -> None:
         super().__init__(
             f"line {line_number}: {reason}: {line.strip()!r}"
         )
         self.line_number = line_number
+        self.reason = reason
 
 
 def dump_trace(trace: Trace, target: Union[str, TextIO]) -> None:
@@ -63,12 +77,18 @@ def load_trace(
             gap = int(parts[0])
         except ValueError:
             raise TraceFormatError(number, line, "bad gap") from None
+        if gap < 0:
+            raise TraceFormatError(
+                number, line, f"gap must be non-negative, got {gap}"
+            )
         if parts[1] not in ("R", "W"):
             raise TraceFormatError(number, line, "direction must be R or W")
-        try:
-            addr = int(parts[2], 0)
-        except ValueError:
-            raise TraceFormatError(number, line, "bad address") from None
+        if _ADDRESS_RE.match(parts[2]) is None:
+            raise TraceFormatError(
+                number, line,
+                "address must be hex digits with optional 0x prefix",
+            )
+        addr = int(parts[2], 16)
         depends = False
         if len(parts) == 4:
             if parts[3] != "D":

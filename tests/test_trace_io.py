@@ -60,15 +60,25 @@ class TestFormat:
         assert not trace[0].depends_on_prev
         assert trace[1].depends_on_prev
 
-    def test_decimal_addresses_accepted(self):
+    def test_bare_digit_addresses_are_hex(self):
+        # The USIMM text format is hex-only: a bare digit run is a hex
+        # number (``256`` is 0x256), never decimal.
         trace = load_trace(io.StringIO("0 R 256\n"))
-        assert trace[0].line == 256
+        assert trace[0].line == 0x256
+
+    def test_prefixed_and_bare_forms_agree(self):
+        trace = load_trace(io.StringIO("0 R 0x1f\n0 R 1f\n"))
+        assert trace[0].line == trace[1].line == 0x1F
 
     @pytest.mark.parametrize("bad", [
         "R 0x10",             # missing gap
         "x R 0x10",           # bad gap
         "0 Q 0x10",           # bad direction
         "0 R zz",             # bad address
+        "0 R 0o17",           # octal prefix is not hex
+        "0 R 1_0",            # underscore separators rejected
+        "0 R 0x",             # prefix without digits
+        "0 R -10",            # negative address
         "0 R 0x10 X",         # bad flag
         "0 R 0x10 D extra",   # too many fields
         "-1 R 0x10",          # negative gap
@@ -77,13 +87,27 @@ class TestFormat:
         with pytest.raises(TraceFormatError):
             load_trace(io.StringIO(bad + "\n"))
 
-    def test_error_reports_line_number(self):
+    def test_negative_gap_message_is_precise(self):
+        with pytest.raises(TraceFormatError) as info:
+            load_trace(io.StringIO("-3 R 0x10\n"))
+        assert info.value.reason == "gap must be non-negative, got -3"
+
+    def test_error_reports_line_number_and_reason(self):
         try:
             load_trace(io.StringIO("0 R 0x1\nbroken\n"))
         except TraceFormatError as exc:
             assert exc.line_number == 2
+            assert exc.reason == "expected 3 or 4 fields"
         else:  # pragma: no cover
             pytest.fail("expected TraceFormatError")
+
+    def test_trace_format_error_is_trace_error(self):
+        from repro.errors import ReproError, TraceError
+
+        assert issubclass(TraceFormatError, TraceError)
+        assert issubclass(TraceFormatError, ReproError)
+        # Historical call sites caught ValueError; keep that working.
+        assert issubclass(TraceFormatError, ValueError)
 
 
 class TestRoundTripEqual:
