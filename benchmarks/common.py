@@ -37,6 +37,18 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _cache: Dict[Tuple, RunResult] = {}
 
 
+def bench_engine() -> str:
+    """Simulation engine for the benchmark harness.
+
+    Defaults to the cycle-skipping fast path (differentially proven
+    bit-identical to the reference, so every figure is unchanged); set
+    ``REPRO_BENCH_ENGINE=reference`` to time the cycle-stepping
+    simulator instead.  Read at call time so a pytest ``--engine`` flag
+    (see the root conftest) can steer already-imported modules.
+    """
+    return os.environ.get("REPRO_BENCH_ENGINE", "fast")
+
+
 def run_cached(
     scheme: str,
     workload_name: str,
@@ -48,8 +60,9 @@ def run_cached(
     powerdown: bool = False,
 ) -> RunResult:
     """Run one (scheme, workload, options) simulation, memoized."""
+    engine = bench_engine()
     key = (scheme, workload_name, cores, turn_length, prefetch,
-           suppress, boost, powerdown)
+           suppress, boost, powerdown, engine)
     if key in _cache:
         return _cache[key]
     from repro.core.energy_opts import FsEnergyOptions
@@ -66,7 +79,7 @@ def run_cached(
     )
     result = run_scheme(
         scheme, config, suite_specs(workload_name, cores), options,
-        max_cycles=MAX_CYCLES,
+        max_cycles=MAX_CYCLES, engine=engine,
     )
     _cache[key] = result
     return result

@@ -8,6 +8,9 @@ the Section-7 same-rank hazard (the 43-cycle rule) bites at small rank
 counts.
 """
 
+import os
+import time
+
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.report import format_series
 
@@ -47,3 +50,70 @@ def test_figure10_scalability(benchmark):
     # 43-cycle hazard forces bubbles/dummy slots at low rank counts.
     margin = [fs[i] / tp[i] for i in range(len(CORE_COUNTS))]
     assert margin[0] > margin[-1]
+
+
+# ---------------------------------------------------------------------
+# Fast-engine speedup gate.
+# ---------------------------------------------------------------------
+
+#: A representative slice of the Figure 10 grid (scheme mixture incl.
+#: the non-secure baseline the figure normalizes against).
+SPEEDUP_SCHEMES = ("baseline",) + SCHEMES
+SPEEDUP_WORKLOADS = ["mix1", "mcf", "libquantum"]
+SPEEDUP_CORES = (8, 4)
+
+#: Minimum fast/reference wall-clock ratio CI accepts.  Measured on the
+#: full grid: baseline ~3.4x, TP ~2.7x, FS rank-partitioned ~1.9x, FS
+#: reordered ~1.8x, composite ~2.6-2.7x (single vCPU, best-of-3).  The
+#: reference simulator is itself event-driven (docs/INTERNALS.md
+#: Sections 6 and 8), so the FS schemes have structurally modest
+#: headroom and the composite sits below the 3-5x one would expect
+#: against a cycle-ticking baseline.  The floor is set under the
+#: measured ratio by a margin for noisy shared CI runners; a drop below
+#: it indicates a fast-path performance regression, not machine load.
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_SPEEDUP_FLOOR", "2.0"))
+
+
+def _grid_seconds(engine: str) -> float:
+    """Wall-clock for one uncached pass of the grid slice."""
+    from repro.sim.config import SystemConfig
+    from repro.sim.runner import run_scheme
+    from repro.workloads.spec import suite_specs
+
+    from .common import ACCESSES_PER_CORE, MAX_CYCLES
+
+    start = time.perf_counter()
+    for scheme in SPEEDUP_SCHEMES:
+        for cores in SPEEDUP_CORES:
+            config = SystemConfig(accesses_per_core=ACCESSES_PER_CORE)
+            if cores != config.num_cores:
+                config = config.with_cores(cores)
+            for workload in SPEEDUP_WORKLOADS:
+                run_scheme(
+                    scheme, config, suite_specs(workload, cores),
+                    max_cycles=MAX_CYCLES, engine=engine,
+                )
+    return time.perf_counter() - start
+
+
+def test_fast_engine_speedup():
+    """The fast engine must stay meaningfully faster than the reference.
+
+    Best-of-two per engine (the minimum is the standard noise-robust
+    wall-clock estimator on shared machines); fast runs first so its
+    one-time schedule-template solve is included in its own budget.
+    """
+    fast = min(_grid_seconds("fast") for _ in range(2))
+    ref = min(_grid_seconds("reference") for _ in range(2))
+    ratio = ref / fast
+    publish(
+        "fig10_engine_speedup",
+        f"fig10 slice ({len(SPEEDUP_SCHEMES)} schemes x "
+        f"{len(SPEEDUP_WORKLOADS)} workloads x cores {SPEEDUP_CORES}): "
+        f"reference {ref:.3f}s, fast {fast:.3f}s, "
+        f"speedup {ratio:.2f}x (floor {SPEEDUP_FLOOR:.2f}x)",
+    )
+    assert ratio >= SPEEDUP_FLOOR, (
+        f"fast engine speedup {ratio:.2f}x fell below the "
+        f"{SPEEDUP_FLOOR:.2f}x gate — fast-path performance regression"
+    )

@@ -287,7 +287,7 @@ class FixedServiceController(MemoryController):
     def pending(self, domain: Optional[int] = None) -> int:
         if domain is not None:
             return len(self._queues[domain])
-        return sum(len(q) for q in self._queues.values())
+        return sum(map(len, self._queues.values()))
 
     def can_accept(self, domain: int) -> bool:
         """Back-pressure is a pure function of the domain's own queue
@@ -665,11 +665,13 @@ class FixedServiceController(MemoryController):
         request.data_start = times.data
         request.completion = times.data + self.params.tBURST
         self.stats.record_service(request)
-        kind_code = {
-            RequestKind.DEMAND: "R" if request.is_read else "W",
-            RequestKind.PREFETCH: "P",
-            RequestKind.DUMMY: "D",
-        }[request.kind]
+        kind = request.kind
+        if kind is RequestKind.DEMAND:
+            kind_code = "R" if request.is_read else "W"
+        elif kind is RequestKind.PREFETCH:
+            kind_code = "P"
+        else:
+            kind_code = "D"
         self._trace(domain, anchor, kind_code)
 
         if request.kind is RequestKind.PREFETCH:

@@ -74,6 +74,7 @@ class ReorderedBpController(MemoryController):
         }
         self._staged: List[Tuple[int, int, Command]] = []
         self._stage_seq = itertools.count()
+        self._times_memo: Dict[Tuple[int, bool], CommandTimes] = {}
         self._next_interval = 0
         self.fault_injector = fault_injector
         self._last_issued_key: Optional[Tuple] = None
@@ -106,7 +107,7 @@ class ReorderedBpController(MemoryController):
     def pending(self, domain: Optional[int] = None) -> int:
         if domain is not None:
             return len(self._queues[domain])
-        return sum(len(q) for q in self._queues.values())
+        return sum(map(len, self._queues.values()))
 
     def next_event(self) -> Optional[int]:
         candidates = [self._decide_cycle(self._next_interval)]
@@ -221,18 +222,32 @@ class ReorderedBpController(MemoryController):
         return None
 
     def _times(self, data_at: int, is_read: bool) -> CommandTimes:
+        # One interval touches the same (data_at, direction) pair ~3x
+        # per transaction (pick scan, hazard commit, dispatch), so a
+        # one-entry memo per direction removes most CommandTimes
+        # constructions.  CommandTimes is an immutable value object;
+        # sharing an instance is observationally identical.
+        cached = self._times_memo.get((data_at, is_read))
+        if cached is not None:
+            return cached
         p = self.params
         if is_read:
-            return CommandTimes(
+            times = CommandTimes(
                 act=data_at - p.tRCD - p.tCAS,
                 col=data_at - p.tCAS,
                 data=data_at,
             )
-        return CommandTimes(
-            act=data_at - p.tRCD - p.tCWD,
-            col=data_at - p.tCWD,
-            data=data_at,
-        )
+        else:
+            times = CommandTimes(
+                act=data_at - p.tRCD - p.tCWD,
+                col=data_at - p.tCWD,
+                data=data_at,
+            )
+        memo = self._times_memo
+        if len(memo) > 8:  # one interval's worth; stays tiny
+            memo.clear()
+        memo[(data_at, is_read)] = times
+        return times
 
     def _dispatch(
         self,
@@ -301,11 +316,13 @@ class ReorderedBpController(MemoryController):
         request.data_start = times.data
         request.completion = times.data + self.params.tBURST
         self.stats.record_service(request)
-        kind_code = {
-            RequestKind.DEMAND: "R" if request.is_read else "W",
-            RequestKind.PREFETCH: "P",
-            RequestKind.DUMMY: "D",
-        }[request.kind]
+        kind = request.kind
+        if kind is RequestKind.DEMAND:
+            kind_code = "R" if request.is_read else "W"
+        elif kind is RequestKind.PREFETCH:
+            kind_code = "P"
+        else:
+            kind_code = "D"
         # The trace records the *interval*, not the slot position: slot
         # positions depend on co-runners' read/write mix, intervals do not.
         self._trace(domain, release_at, kind_code)

@@ -69,11 +69,30 @@ class Bank:
     # ------------------------------------------------------------------
 
     def apply(self, cmd: Command) -> None:
-        """Update bank state for a command issued at ``cmd.cycle``."""
-        p = self.params
+        """Update bank state for a command issued at ``cmd.cycle``,
+        validating the bank-level JEDEC constraints first."""
         t = cmd.cycle
         if cmd.type is CommandType.ACTIVATE:
             self._check(t, self.earliest_activate(t), cmd)
+        elif cmd.type.is_column:
+            self._check(t, self.earliest_column(t, cmd.type.is_read), cmd)
+        elif cmd.type is CommandType.PRECHARGE:
+            self._check(t, self.earliest_precharge(t), cmd)
+        self.apply_trusted(cmd)
+
+    def apply_trusted(self, cmd: Command) -> None:
+        """State transition without the validation checks.
+
+        The fast-path engine (:mod:`repro.sim.fastpath`) uses this for
+        commands whose legality was proved offline by the pipeline
+        solver; the state updates are *identical* to :meth:`apply` so
+        every downstream observable (stats, energy, power states) stays
+        bit-exact.  Never call this for commands that were not
+        pre-validated.
+        """
+        p = self.params
+        t = cmd.cycle
+        if cmd.type is CommandType.ACTIVATE:
             self.open_row = cmd.row
             self.last_activate = t
             self.auto_precharge_at = None
@@ -82,7 +101,6 @@ class Bank:
             self.next_precharge = t + p.tRAS
             self.stat_activates += 1
         elif cmd.type.is_column:
-            self._check(t, self.earliest_column(t, cmd.type.is_read), cmd)
             if cmd.type.is_read:
                 # Read-to-precharge and auto-precharge bookkeeping.
                 pre_ready = t + p.tRTP
@@ -100,7 +118,6 @@ class Bank:
                     self.next_activate, auto_at + p.tRP
                 )
         elif cmd.type is CommandType.PRECHARGE:
-            self._check(t, self.earliest_precharge(t), cmd)
             self.open_row = None
             self.auto_precharge_at = None
             self.next_activate = max(self.next_activate, t + p.tRP)

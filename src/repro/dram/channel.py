@@ -187,6 +187,35 @@ class Channel:
         self.stat_last_activity = max(self.stat_last_activity, cmd.cycle)
         return data_start
 
+    def issue_trusted(self, cmd: Command) -> Optional[int]:
+        """Apply ``cmd`` without validation or bus bookkeeping.
+
+        For pre-validated fixed schedules only (:mod:`repro.sim.fastpath`):
+        the pipeline solver already proved the command stream free of
+        command-bus and data-bus conflicts, so the per-cycle bus
+        reservations exist only to re-check that proof.  This path skips
+        them while keeping every *observable* update (rank/bank state,
+        energy counters, ``stat_commands`` / ``stat_data_cycles`` /
+        ``stat_last_activity``) identical to :meth:`issue`.
+
+        CAVEAT: the ``earliest_*`` queries and ``cmd_bus_free`` /
+        ``data_conflict`` are NOT maintained by this path.  Controllers
+        that consult them (FR-FCFS, TP, FCFS) must keep using
+        :meth:`issue`.
+        """
+        data_start: Optional[int] = None
+        if cmd.type.is_column:
+            offset = (
+                self.params.tCAS if cmd.type.is_read else self.params.tCWD
+            )
+            data_start = cmd.cycle + offset
+            self.stat_data_cycles += self.params.tBURST
+        self.ranks[cmd.rank].apply_trusted(cmd)
+        self.stat_commands += 1
+        if cmd.cycle > self.stat_last_activity:
+            self.stat_last_activity = cmd.cycle
+        return data_start
+
     # ------------------------------------------------------------------
     # Introspection helpers.
     # ------------------------------------------------------------------

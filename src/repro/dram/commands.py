@@ -16,7 +16,13 @@ from typing import Optional
 
 
 class CommandType(enum.Enum):
-    """The DDR3 command set modelled by this simulator."""
+    """The DDR3 command set modelled by this simulator.
+
+    ``is_column`` / ``is_read`` / ``is_write`` / ``auto_precharge`` are
+    plain per-member attributes (filled in right below the class body):
+    they sit on every scheduler's innermost loop, where a property call
+    per query is measurable simulator overhead.
+    """
 
     ACTIVATE = "ACT"
     COL_READ = "RD"
@@ -29,21 +35,10 @@ class CommandType(enum.Enum):
     POWER_DOWN = "PDN"
     POWER_UP = "PUP"
 
-    @property
-    def is_column(self) -> bool:
-        return self in _COLUMN_COMMANDS
-
-    @property
-    def is_read(self) -> bool:
-        return self in (CommandType.COL_READ, CommandType.COL_READ_AP)
-
-    @property
-    def is_write(self) -> bool:
-        return self in (CommandType.COL_WRITE, CommandType.COL_WRITE_AP)
-
-    @property
-    def auto_precharge(self) -> bool:
-        return self in (CommandType.COL_READ_AP, CommandType.COL_WRITE_AP)
+    is_column: bool
+    is_read: bool
+    is_write: bool
+    auto_precharge: bool
 
 
 _COLUMN_COMMANDS = frozenset(
@@ -55,6 +50,19 @@ _COLUMN_COMMANDS = frozenset(
     }
 )
 
+for _member in CommandType:
+    _member.is_column = _member in _COLUMN_COMMANDS
+    _member.is_read = _member in (
+        CommandType.COL_READ, CommandType.COL_READ_AP
+    )
+    _member.is_write = _member in (
+        CommandType.COL_WRITE, CommandType.COL_WRITE_AP
+    )
+    _member.auto_precharge = _member in (
+        CommandType.COL_READ_AP, CommandType.COL_WRITE_AP
+    )
+del _member
+
 
 class OpType(enum.Enum):
     """Transaction direction."""
@@ -62,9 +70,11 @@ class OpType(enum.Enum):
     READ = "read"
     WRITE = "write"
 
-    @property
-    def is_read(self) -> bool:
-        return self is OpType.READ
+    is_read: bool
+
+
+OpType.READ.is_read = True
+OpType.WRITE.is_read = False
 
 
 class RequestKind(enum.Enum):
@@ -132,9 +142,11 @@ class Request:
     row_hit: bool = False
     suppressed: bool = False
 
-    @property
-    def is_read(self) -> bool:
-        return self.op is OpType.READ
+    def __post_init__(self) -> None:
+        # Cached direction flag: queried far more often than requests
+        # are built (every scheduler pick / hazard check), and ``op``
+        # never changes after construction.
+        self.is_read = self.op is OpType.READ
 
     @property
     def latency(self) -> Optional[int]:

@@ -118,7 +118,7 @@ class Rank:
     # ------------------------------------------------------------------
 
     def apply(self, cmd: Command) -> None:
-        p = self.params
+        """Validate the rank-level JEDEC constraints, then transition."""
         t = cmd.cycle
         if cmd.type is CommandType.ACTIVATE:
             lower = self.earliest_activate(t, cmd.bank)
@@ -127,12 +127,6 @@ class Rank:
                     f"ACT at {t} violates rank constraint "
                     f"(earliest {lower})"
                 )
-            self._account_state(t)
-            self._act_times.append(t)
-            self._last_act = t
-            self.energy.activates += 1
-            self.banks[cmd.bank].apply(cmd)
-            self._enter(PowerState.ACTIVE, t)
         elif cmd.type.is_column:
             lower = self.earliest_column(t, cmd.bank, cmd.type.is_read)
             if t < lower:
@@ -140,41 +134,70 @@ class Rank:
                     f"{cmd.type.value} at {t} violates rank constraint "
                     f"(earliest {lower})"
                 )
-            self._last_col = t
-            self._last_col_was_read = cmd.type.is_read
-            if cmd.type.is_read:
-                self.energy.reads += 1
-            else:
-                self.energy.writes += 1
-            self.banks[cmd.bank].apply(cmd)
-            if cmd.type.auto_precharge and not self.any_bank_open:
-                self._account_state(t)
-                self._enter(PowerState.PRECHARGED, t)
-        elif cmd.type is CommandType.PRECHARGE:
-            self.banks[cmd.bank].apply(cmd)
-            if not self.any_bank_open:
-                self._account_state(t)
-                self._enter(PowerState.PRECHARGED, t)
         elif cmd.type is CommandType.REFRESH:
             lower = self.earliest_refresh(t)
             if t < lower:
                 raise TimingViolation(
                     f"REF at {t} violates rank constraint (earliest {lower})"
                 )
-            self._account_state(t)
-            self.energy.refreshes += 1
-            for bank in self.banks:
-                bank.apply(cmd)
-            self._enter(PowerState.PRECHARGED, t)
         elif cmd.type is CommandType.POWER_DOWN:
             if self.any_bank_open:
                 raise TimingViolation("power-down with open banks")
+        elif cmd.type is CommandType.POWER_UP:
+            if self.power_state is not PowerState.POWER_DOWN:
+                raise TimingViolation("power-up while not powered down")
+        self._transition(cmd, checked=True)
+
+    def apply_trusted(self, cmd: Command) -> None:
+        """State transition without the validation checks.
+
+        Used by the fast-path engine for command streams whose legality
+        was proved offline (the Fixed Service timetables).  Performs the
+        *same* state and energy updates as :meth:`apply`, in the same
+        order, so power-state residency and energy counters stay
+        bit-identical with the checked path.
+        """
+        self._transition(cmd, checked=False)
+
+    def _transition(self, cmd: Command, checked: bool) -> None:
+        t = cmd.cycle
+        if cmd.type is CommandType.ACTIVATE:
+            self._account_state(t)
+            self._act_times.append(t)
+            self._last_act = t
+            self.energy.activates += 1
+            bank = self.banks[cmd.bank]
+            bank.apply(cmd) if checked else bank.apply_trusted(cmd)
+            self._enter(PowerState.ACTIVE, t)
+        elif cmd.type.is_column:
+            self._last_col = t
+            self._last_col_was_read = cmd.type.is_read
+            if cmd.type.is_read:
+                self.energy.reads += 1
+            else:
+                self.energy.writes += 1
+            bank = self.banks[cmd.bank]
+            bank.apply(cmd) if checked else bank.apply_trusted(cmd)
+            if cmd.type.auto_precharge and not self.any_bank_open:
+                self._account_state(t)
+                self._enter(PowerState.PRECHARGED, t)
+        elif cmd.type is CommandType.PRECHARGE:
+            bank = self.banks[cmd.bank]
+            bank.apply(cmd) if checked else bank.apply_trusted(cmd)
+            if not self.any_bank_open:
+                self._account_state(t)
+                self._enter(PowerState.PRECHARGED, t)
+        elif cmd.type is CommandType.REFRESH:
+            self._account_state(t)
+            self.energy.refreshes += 1
+            for bank in self.banks:
+                bank.apply(cmd) if checked else bank.apply_trusted(cmd)
+            self._enter(PowerState.PRECHARGED, t)
+        elif cmd.type is CommandType.POWER_DOWN:
             self._account_state(t)
             self._enter(PowerState.POWER_DOWN, t)
             self._power_until = t + self.params.tCKE
         elif cmd.type is CommandType.POWER_UP:
-            if self.power_state is not PowerState.POWER_DOWN:
-                raise TimingViolation("power-up while not powered down")
             self._account_state(t)
             self._enter(PowerState.PRECHARGED, t)
             self._power_until = t + self.params.tXP
@@ -183,7 +206,13 @@ class Rank:
 
     @property
     def any_bank_open(self) -> bool:
-        return any(bank.is_open for bank in self.banks)
+        # Plain loop over ``open_row`` slots: this runs once per column/
+        # precharge command, and the generator frame of an ``any(...)``
+        # genexpr is measurable there.
+        for bank in self.banks:
+            if bank.open_row is not None:
+                return True
+        return False
 
     def finalize(self, end_cycle: int) -> None:
         """Close the power-state accounting at the end of simulation."""

@@ -60,6 +60,10 @@ class _ChannelLocalPartition(PartitionPolicy):
 class MultiChannelFsController(MemoryController):
     """One FS_RP controller per channel, composed behind one interface."""
 
+    #: Per-channel controller class; the fast-path engine overrides this
+    #: (:mod:`repro.sim.fastpath`) to slot in its trusted-issue subclass.
+    SUB_CONTROLLER = FixedServiceController
+
     def __init__(
         self,
         dram: DramSystem,
@@ -81,17 +85,19 @@ class MultiChannelFsController(MemoryController):
         self._sub: Dict[int, FixedServiceController] = {}
         self._local_id: Dict[int, Tuple[int, int]] = {}
         for channel, domains in sorted(by_channel.items()):
-            schedule = build_fs_schedule(
-                dram.params, len(domains), SharingLevel.RANK
-            )
+            schedule = self._sub_schedule(dram.params, len(domains))
             view = _ChannelLocalPartition(partition, channel, domains)
-            controller = FixedServiceController(
+            controller = self.SUB_CONTROLLER(
                 dram, schedule, view, channel=channel,
                 log_commands=log_commands,
             )
             self._sub[channel] = controller
             for local, global_id in enumerate(domains):
                 self._local_id[global_id] = (channel, local)
+
+    def _sub_schedule(self, params, num_domains: int):
+        """Build the per-channel FS timetable (overridable for caching)."""
+        return build_fs_schedule(params, num_domains, SharingLevel.RANK)
 
     # ------------------------------------------------------------------
 
@@ -115,6 +121,18 @@ class MultiChannelFsController(MemoryController):
         events = [c.next_event() for c in self._sub.values()]
         events = [e for e in events if e is not None]
         return min(events) if events else None
+
+    def drain_deadline(self) -> Optional[int]:
+        """Earliest pending release across all channels.
+
+        The base-class implementation reads ``self._release_heap``, which
+        this composite never populates (each sub-controller owns its own
+        heap), so without this override the fast driver would see ``None``
+        and jump past in-flight releases.
+        """
+        deadlines = [c.drain_deadline() for c in self._sub.values()]
+        deadlines = [d for d in deadlines if d is not None]
+        return min(deadlines) if deadlines else None
 
     def busy(self) -> bool:
         return any(c.busy() for c in self._sub.values())

@@ -54,6 +54,18 @@ SCHEMES = (
     "fs_np_ta",
 )
 
+#: Simulation engines: the cycle-stepping reference and the
+#: cycle-skipping fast path (:mod:`repro.sim.fastpath`), which is
+#: differentially tested to be observationally identical.
+ENGINES = ("reference", "fast")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {ENGINES}"
+        )
+
 
 @dataclass
 class SchemeOptions:
@@ -161,8 +173,19 @@ def build_controller(
     partition: PartitionPolicy,
     options: SchemeOptions,
     fault_injector: Optional[FaultInjector] = None,
+    engine: str = "reference",
 ) -> MemoryController:
-    """Instantiate the memory controller for a scheme name."""
+    """Instantiate the memory controller for a scheme name.
+
+    ``engine="fast"`` selects the cycle-skipping controller variants
+    from :mod:`repro.sim.fastpath` (bit-identical observables, see
+    ``tests/test_differential.py``); the default stays the reference.
+    """
+    _check_engine(engine)
+    fast = engine == "fast"
+    if fast:
+        from . import fastpath
+
     config.validate_for_scheme(scheme)
     if fault_injector is None and options.faults is not None and (
         not options.faults.empty
@@ -185,21 +208,28 @@ def build_controller(
             ranks_per_channel=geometry.ranks,
             banks_per_rank=geometry.banks,
         )
-        return FrFcfsController(dram, n, log_commands=options.log_commands)
+        cls = fastpath.FastFrFcfsController if fast else FrFcfsController
+        return cls(dram, n, log_commands=options.log_commands)
     if scheme == "baseline":
-        return FrFcfsController(
+        cls = fastpath.FastFrFcfsController if fast else FrFcfsController
+        return cls(
             dram, n,
             refresh=_refresh_for(config, options),
             log_commands=options.log_commands,
         )
     if scheme == "fcfs":
+        # No fast controller: FCFS gains from the fast *driver* alone.
         return FcfsController(dram, n, log_commands=options.log_commands)
     if scheme in ("tp_bp", "tp_np"):
         bank_partitioned = scheme == "tp_bp"
         turn = options.turn_length or default_turn_length(
             bank_partitioned
         )
-        return TemporalPartitioningController(
+        cls = (
+            fastpath.FastTpController if fast
+            else TemporalPartitioningController
+        )
+        return cls(
             dram, n, turn_length=turn,
             bank_partitioned=bank_partitioned,
             log_commands=options.log_commands,
@@ -207,7 +237,11 @@ def build_controller(
     if scheme == "fs_rp_mc":
         from .multichannel import MultiChannelFsController
 
-        return MultiChannelFsController(
+        cls = (
+            fastpath.FastMultiChannelFsController if fast
+            else MultiChannelFsController
+        )
+        return cls(
             dram, partition, n, log_commands=options.log_commands
         )
     if scheme in ("fs_rp", "fs_bp", "fs_np"):
@@ -216,10 +250,16 @@ def build_controller(
             "fs_bp": SharingLevel.BANK,
             "fs_np": SharingLevel.NONE,
         }[scheme]
-        schedule = build_fs_schedule(
-            config.timing, n, sharing,
-            slots_per_domain=options.slots_per_domain,
-        )
+        if fast:
+            schedule = fastpath.cached_fs_schedule(
+                config.timing, n, sharing,
+                slots_per_domain=options.slots_per_domain,
+            )
+        else:
+            schedule = build_fs_schedule(
+                config.timing, n, sharing,
+                slots_per_domain=options.slots_per_domain,
+            )
         prefetchers = None
         if options.prefetch:
             prefetchers = {
@@ -228,7 +268,11 @@ def build_controller(
         refresh = None
         if scheme == "fs_rp":
             refresh = _refresh_for(config, options)
-        return FixedServiceController(
+        cls = (
+            fastpath.FastFixedServiceController if fast
+            else FixedServiceController
+        )
+        return cls(
             dram, schedule, partition,
             energy_options=options.energy,
             prefetchers=prefetchers,
@@ -237,15 +281,28 @@ def build_controller(
             fault_injector=fault_injector,
         )
     if scheme == "fs_np_ta":
-        schedule = build_triple_alternation_schedule(config.timing, n)
-        return FixedServiceController(
+        if fast:
+            schedule = fastpath.cached_triple_alternation_schedule(
+                config.timing, n
+            )
+        else:
+            schedule = build_triple_alternation_schedule(config.timing, n)
+        cls = (
+            fastpath.FastFixedServiceController if fast
+            else FixedServiceController
+        )
+        return cls(
             dram, schedule, partition,
             energy_options=options.energy,
             log_commands=options.log_commands,
             fault_injector=fault_injector,
         )
     if scheme == "fs_reordered_bp":
-        return ReorderedBpController(
+        cls = (
+            fastpath.FastReorderedBpController if fast
+            else ReorderedBpController
+        )
+        return cls(
             dram, partition, n,
             energy_options=options.energy,
             log_commands=options.log_commands,
@@ -259,8 +316,10 @@ def build_system(
     config: SystemConfig,
     specs: Sequence[WorkloadSpec],
     options: Optional[SchemeOptions] = None,
+    engine: str = "reference",
 ) -> System:
     """Assemble controller + partition + cores for one run."""
+    _check_engine(engine)
     if len(specs) != config.num_cores:
         raise ValueError("one workload spec per core required")
     config.validate_for_scheme(scheme)
@@ -272,7 +331,7 @@ def build_system(
         fault_injector = options.faults.injector()
     partition = partition_for(scheme, config, options)
     controller = build_controller(
-        scheme, config, partition, options, fault_injector
+        scheme, config, partition, options, fault_injector, engine=engine
     )
     _attach_runtime_verification(controller, config, options)
     cores = []
@@ -285,6 +344,10 @@ def build_system(
         cores.append(Core(
             domain=d, trace=trace, params=config.core,
         ))
+    if engine == "fast":
+        from .fastpath import FastSystem
+
+        return FastSystem(controller, partition, cores, scheme=scheme)
     return System(controller, partition, cores, scheme=scheme)
 
 
@@ -295,7 +358,8 @@ def run_scheme(
     options: Optional[SchemeOptions] = None,
     max_cycles: int = 10_000_000,
     wall_budget_s: Optional[float] = None,
+    engine: str = "reference",
 ) -> RunResult:
     """Build and run one scheme to completion."""
-    system = build_system(scheme, config, specs, options)
+    system = build_system(scheme, config, specs, options, engine=engine)
     return system.run(max_cycles=max_cycles, wall_budget_s=wall_budget_s)

@@ -80,12 +80,18 @@ class Sweep:
         checkpoint: Optional[str] = None,
         point_wall_budget_s: Optional[float] = None,
         strict: bool = False,
+        engine: str = "fast",
     ) -> None:
         self.config = config
         self.baseline_scheme = baseline_scheme
         self.max_cycles = max_cycles
         self.checkpoint = checkpoint
         self.point_wall_budget_s = point_wall_budget_s
+        #: Simulation engine for every cell.  Sweeps default to the
+        #: cycle-skipping fast path (production grids run for hours and
+        #: the fast engine is differentially proven bit-identical); pass
+        #: ``engine="reference"`` to force the cycle-stepping simulator.
+        self.engine = engine
         #: When True, a failing cell re-raises instead of being recorded
         #: (the pre-resilience behaviour; also what a CI gate wants).
         self.strict = strict
@@ -161,6 +167,7 @@ class Sweep:
                 suite_specs(workload, cores),
                 max_cycles=self.max_cycles,
                 wall_budget_s=self.point_wall_budget_s,
+                engine=self.engine,
             )
         return self._baselines[key]
 
@@ -191,6 +198,7 @@ class Sweep:
                 suite_specs(workload, cores),
                 options, max_cycles=self.max_cycles,
                 wall_budget_s=self.point_wall_budget_s,
+                engine=self.engine,
             )
             baseline = self._baseline(workload, cores)
         except (KeyboardInterrupt, SystemExit):

@@ -11,6 +11,7 @@ any of the schedulers in this repository react to.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -84,11 +85,16 @@ def generate_trace(
 ) -> Trace:
     """Materialize ``accesses`` memory operations for ``spec``.
 
-    Deterministic for a given (spec, accesses, seed).
+    Deterministic for a given (spec, accesses, seed) — including across
+    process restarts: the per-workload stream offset is derived from a
+    CRC of the name, not ``hash()``, which is randomized per process
+    (``PYTHONHASHSEED``) and would make golden-trace fixtures
+    unreproducible.
     """
     if accesses < 1:
         raise ValueError("need at least one access")
-    rng = random.Random((hash(spec.name) & 0xFFFF) * 1_000_003 + seed)
+    name_tag = zlib.crc32(spec.name.encode("utf-8")) & 0xFFFF
+    rng = random.Random(name_tag * 1_000_003 + seed)
     records: List[TraceRecord] = []
     cursors = [
         rng.randrange(spec.working_set_lines) for _ in range(spec.streams)

@@ -1,0 +1,112 @@
+"""Differential equivalence suite: fast engine vs reference simulator.
+
+The headline asset of the fast-path work (``repro.sim.fastpath``): every
+scheme family from the paper is simulated under both engines and must
+produce **bit-identical** command traces, completion times, statistics,
+service traces, energy, and per-core results.
+
+Covered families (paper nomenclature):
+
+* non-secure FR-FCFS baseline (open page, write drain) and strict FCFS
+* channel partitioning (Section 4.1)
+* Temporal Partitioning, bank-partitioned and unpartitioned
+* Fixed Service rank partitioning (periodic data pipeline, l=7),
+  single- and multi-channel
+* Fixed Service bank partitioning (periodic RAS, l=15; l=21 with
+  doubled per-domain slots)
+* Fixed Service unpartitioned (l=43) and triple alternation (Q=360)
+* Fixed Service reordered bank partitioning (Q=63)
+
+plus the option axes the benchmarks exercise: refresh, prefetching,
+energy optimizations, slot multiplicity, turn length, address-order
+remapping, and the online invariant monitor.  Fault-injection cases live
+in ``tests/test_fastpath_faults.py``.
+"""
+
+import pytest
+
+from repro.sim.runner import SCHEMES, SchemeOptions
+
+from .engine_equivalence import check
+
+# Every scheme the runner knows, on two contrasting workloads: a mixed
+# multiprogrammed bundle and a homogeneous memory-intensive one.
+_ALL_SCHEMES = list(SCHEMES)
+
+
+@pytest.mark.parametrize("scheme", _ALL_SCHEMES)
+def test_scheme_equivalent_mixed_workload(scheme):
+    check(scheme, workload="mix1")
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    ["baseline", "tp_bp", "fs_rp", "fs_bp", "fs_reordered_bp",
+     "fs_np_ta"],
+)
+def test_scheme_equivalent_intense_workload(scheme):
+    check(scheme, workload="mcf", accesses=100)
+
+
+@pytest.mark.parametrize("cores", [2, 4])
+@pytest.mark.parametrize(
+    "scheme", ["baseline", "fs_rp", "fs_reordered_bp", "tp_bp"]
+)
+def test_scheme_equivalent_scaled_cores(scheme, cores):
+    """The Figure 10 core-count scaling grid, both engines."""
+    check(scheme, workload="libquantum", cores=cores, accesses=100)
+
+
+def test_seed_changes_tracked_identically():
+    """A different trace seed must shift both engines the same way."""
+    check("fs_rp", workload="milc", seed=17, accesses=100)
+
+
+# ---------------------------------------------------------------------
+# Option axes.
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "fs_rp"])
+def test_refresh_equivalent(scheme):
+    check(scheme, options=SchemeOptions(refresh=True), accesses=100)
+
+
+def test_prefetch_equivalent():
+    check("fs_rp", options=SchemeOptions(prefetch=True), accesses=100)
+
+
+def test_energy_options_equivalent():
+    from repro.core.energy_opts import FsEnergyOptions
+
+    options = SchemeOptions(energy=FsEnergyOptions(
+        suppress_dummies=True, boost_row_hits=True, power_down_idle=True,
+    ))
+    for scheme in ("fs_rp", "fs_reordered_bp"):
+        check(scheme, options=options, accesses=100)
+
+
+def test_double_slots_equivalent():
+    """FS bank partitioning with two slots per domain (l=21 pipeline)."""
+    check("fs_bp", options=SchemeOptions(slots_per_domain=2),
+          accesses=100)
+
+
+def test_turn_length_equivalent():
+    check("tp_bp", options=SchemeOptions(turn_length=96), accesses=100)
+
+
+def test_address_order_equivalent():
+    """Triple alternation with bank-interleaved page mapping."""
+    options = SchemeOptions(
+        address_order=("row", "column", "rank", "channel", "bank")
+    )
+    check("fs_np_ta", options=options, accesses=100)
+
+
+@pytest.mark.parametrize(
+    "scheme", ["fs_rp", "fs_reordered_bp", "fs_np_ta"]
+)
+def test_monitor_equivalent(scheme):
+    """The online watchdog sees the same command stream either way."""
+    check(scheme, options=SchemeOptions(monitor=True), accesses=100)

@@ -1,0 +1,103 @@
+"""Fault injection × fast path: identical recovery under both engines.
+
+The fast engine must not change *how the system breaks*: for every fault
+model in :mod:`repro.faults`, a seeded campaign run under the fast engine
+strikes the same faults at the same cycles, triggers the same recovery,
+and ends with the same statistics, traces, and per-core results as the
+reference engine.  (Under fault injection the fast FS controllers
+renounce their release-horizon stride — the deliberately-broken
+borrow-foreign-slot recovery can complete requests at cycles the bound
+does not cover — and the driver falls back to ``next_event``
+granularity, so equivalence is exact rather than merely statistical.)
+"""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.sim.runner import SchemeOptions
+
+from .engine_equivalence import assert_equivalent, run_both
+
+
+def _plan(kind: FaultKind, rate: float = 0.08,
+          seed: int = 7) -> FaultPlan:
+    return FaultPlan((FaultSpec(kind, rate),), seed)
+
+
+def _events(controller):
+    injector = getattr(controller, "fault_injector", None)
+    if injector is None:
+        return None
+    return [(e.kind, e.domain, e.cycle) for e in injector.events]
+
+
+def _check_faulted(scheme: str, kind: FaultKind, **kwargs) -> None:
+    options = SchemeOptions(faults=_plan(kind))
+    outcomes = run_both(scheme, options=options, accesses=100, **kwargs)
+    assert_equivalent(outcomes)
+    # The fault *event logs* must agree too: same kinds, same domains,
+    # same strike cycles (each run builds a fresh injector from the
+    # immutable plan, so the schedules are seed-deterministic).
+    ref_events = _events(outcomes["reference"][1])
+    fast_events = _events(outcomes["fast"][1])
+    assert fast_events == ref_events, "fault event logs diverged"
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [FaultKind.DROP_COMMAND, FaultKind.DUPLICATE_COMMAND,
+     FaultKind.DELAY_SLOT, FaultKind.REFRESH_COLLISION,
+     FaultKind.CORRUPT_TRACE, FaultKind.QUEUE_OVERFLOW,
+     FaultKind.BORROW_FOREIGN_SLOT],
+)
+def test_fs_rp_fault_recovery_equivalent(kind):
+    """Every fault class, on the flagship FS rank-partitioned scheme."""
+    _check_faulted("fs_rp", kind)
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [FaultKind.DROP_COMMAND, FaultKind.DELAY_SLOT,
+     FaultKind.CORRUPT_TRACE, FaultKind.QUEUE_OVERFLOW],
+)
+def test_reordered_bp_fault_recovery_equivalent(kind):
+    """The interval-batched pipeline's fault paths, both engines."""
+    _check_faulted("fs_reordered_bp", kind)
+
+
+def test_triple_alternation_fault_recovery_equivalent():
+    _check_faulted("fs_np_ta", FaultKind.DELAY_SLOT)
+
+
+def test_corrupt_trace_on_baseline_equivalent():
+    """Trace corruption applies to every scheme, fast driver included."""
+    _check_faulted("baseline", FaultKind.CORRUPT_TRACE)
+
+
+def test_faulted_run_with_monitor_equivalent():
+    """The watchdog must flag the broken recovery identically: same
+    violation count, same first-violation shape, under either engine."""
+    options = SchemeOptions(
+        faults=_plan(FaultKind.BORROW_FOREIGN_SLOT, rate=0.2),
+        monitor=True,
+    )
+    outcomes = run_both("fs_rp", options=options, accesses=100)
+    assert_equivalent(outcomes)
+    monitor = outcomes["fast"][1].monitor
+    assert monitor is not None
+
+
+def test_multi_fault_campaign_equivalent():
+    """Several fault models armed at once (the resilient-sweep setup)."""
+    plan = FaultPlan(
+        (
+            FaultSpec(FaultKind.DROP_COMMAND, 0.05),
+            FaultSpec(FaultKind.DELAY_SLOT, 0.05),
+            FaultSpec(FaultKind.QUEUE_OVERFLOW, 0.05),
+        ),
+        seed=13,
+    )
+    outcomes = run_both(
+        "fs_rp", options=SchemeOptions(faults=plan), accesses=100
+    )
+    assert_equivalent(outcomes)

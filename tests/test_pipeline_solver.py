@@ -175,3 +175,50 @@ class TestSolverPropertyBased:
         solver = PipelineSolver(params)
         l = solver.solve(PeriodicMode.DATA, SharingLevel.RANK, max_l=1024)
         assert l >= params.tBURST + params.tRTRS
+
+
+class TestTemplateCacheProperties:
+    """The fast path's schedule-template cache vs the solver's math.
+
+    :func:`repro.sim.fastpath.cached_fs_schedule` runs the pipeline
+    solver once per ``(timing, domains, sharing, ...)`` key and serves a
+    memoized :class:`~repro.sim.fastpath.TemplatedSchedule` afterwards.
+    Whatever random-but-consistent timing the solver is handed, the
+    cached timetable must be *the same timetable* the reference build
+    produces — same solved gap, same slots, same command cycles — or
+    the two engines would silently drift apart.
+    """
+
+    @given(timing_params(),
+           st.sampled_from([SharingLevel.RANK, SharingLevel.BANK]),
+           st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_cached_schedule_matches_fresh_build(
+        self, params, sharing, domains
+    ):
+        from repro.core.schedule import build_fs_schedule
+        from repro.sim import fastpath
+
+        fastpath.clear_caches()
+        try:
+            fresh = build_fs_schedule(params, domains, sharing)
+        except RuntimeError:
+            return  # no feasible gap under the default bound: skip
+        cached = fastpath.cached_fs_schedule(params, domains, sharing)
+        # One solver run per key: the second lookup is the same object.
+        assert fastpath.cached_fs_schedule(
+            params, domains, sharing
+        ) is cached
+        assert cached.slot_gap == fresh.slot_gap
+        assert cached.mode is fresh.mode
+        assert cached.interval_length == fresh.interval_length
+        assert cached.slots == fresh.slots
+        assert cached.lead == fresh.lead
+        solver = PipelineSolver(params)
+        assert solver.check(
+            cached.slot_gap, cached.mode, sharing
+        ) is None
+        for anchor in (0, 1, cached.interval_length, 12345):
+            for is_read in (True, False):
+                assert cached.command_times(anchor, is_read) == \
+                    fresh.command_times(anchor, is_read)
