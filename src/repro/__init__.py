@@ -30,6 +30,8 @@ Packages:
 * :mod:`repro.sim` — system wiring and experiment runner.
 * :mod:`repro.analysis` — non-interference checks, covert channels,
   metrics, reporting.
+* :mod:`repro.telemetry` — unified observability: metrics registry,
+  cycle-accurate trace export, engine profiling.
 """
 
 from .errors import (
@@ -38,6 +40,7 @@ from .errors import (
     ReproError,
     ScheduleViolationError,
     SimTimeoutError,
+    TelemetryError,
     TraceError,
 )
 from .dram import (
@@ -60,6 +63,12 @@ from .core import (
     validate_schedule,
 )
 from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from .telemetry import (
+    MetricsRegistry,
+    TelemetrySession,
+    TraceCollector,
+    export_chrome_trace,
+)
 from .controllers import (
     FcfsController,
     FrFcfsController,
@@ -96,6 +105,9 @@ __version__ = "1.0.0"
 __all__ = [
     "ReproError", "ConfigError", "TraceError",
     "ScheduleViolationError", "FaultInjectionError", "SimTimeoutError",
+    "TelemetryError",
+    "MetricsRegistry", "TelemetrySession", "TraceCollector",
+    "export_chrome_trace",
     "DDR3_1600_X4", "DramSystem", "TimingChecker", "TimingParams",
     "FixedServiceController", "FsEnergyOptions", "PeriodicMode",
     "PipelineSolver", "ReorderedBpController", "SharingLevel",

@@ -4,12 +4,18 @@ Commands:
 
 * ``solve``   — print the minimal slot gaps / pipeline geometry for the
   configured DRAM part (Sections 3-4).
-* ``run``     — simulate one scheme on one workload and print the result.
+* ``run``     — simulate one scheme on one workload and print the result
+  (``--metrics`` / ``--trace`` write telemetry artifacts).
 * ``compare`` — run several schemes on one workload against the baseline.
 * ``audit``   — non-interference check for a scheme (Figure 4 style).
 * ``covert``  — covert-channel measurement through a scheme.
+* ``stats``   — per-domain inter-service-time distribution (the paper's
+  invariance picture) plus metrics export and engine throughput.
+* ``trace``   — record a run's full timeline and export it as Chrome
+  trace-event JSON for Perfetto / ``chrome://tracing``.
 * ``sweep``   — run a (scheme x workload) grid with failure isolation
-  and optional JSON checkpoint/resume.
+  and optional JSON checkpoint/resume (``--metrics`` aggregates the
+  grid into a JSON or Prometheus artifact).
 
 Any :class:`~repro.errors.ReproError` (bad config, malformed trace,
 unknown fault spec, schedule violation, ...) is reported on stderr and
@@ -36,7 +42,7 @@ from .dram.timing import DDR3_1600_X4
 from .errors import ReproError
 from .faults import FaultPlan
 from .sim.config import SystemConfig
-from .sim.runner import SCHEMES, SchemeOptions, run_scheme
+from .sim.runner import ENGINES, SCHEMES, SchemeOptions, run_scheme
 from .sim.sweep import Sweep
 from .workloads.spec import EVALUATION_SUITE, suite_specs, workload
 
@@ -87,6 +93,16 @@ def cmd_solve(args) -> int:
     return 0
 
 
+def _write_registry(registry, handle, path: str) -> None:
+    """Write a metrics registry: Prometheus text for ``.prom``/``.txt``
+    suffixes, the JSON export otherwise."""
+    if path.endswith((".prom", ".txt")):
+        handle.write(registry.to_prometheus())
+    else:
+        handle.write(registry.to_json())
+        handle.write("\n")
+
+
 def cmd_run(args) -> int:
     """Simulate one scheme on one workload and print a summary."""
     from .sim.runner import build_system
@@ -95,14 +111,46 @@ def cmd_run(args) -> int:
     plan = None
     if args.inject:
         plan = FaultPlan.parse(args.inject, seed=args.seed)
+    telemetry = None
+    metrics_handle = trace_handle = None
+    if args.metrics or args.trace:
+        from .telemetry import TelemetrySession, TraceCollector, \
+            open_sink
+
+        # Open output paths eagerly: an unwritable path fails here, in
+        # milliseconds, with a friendly TelemetryError — not after the
+        # whole simulation has run.
+        if args.metrics:
+            metrics_handle = open_sink(args.metrics)
+        if args.trace:
+            trace_handle = open_sink(args.trace)
+        telemetry = TelemetrySession(
+            collector=TraceCollector() if args.trace else None,
+            profile=True,
+        )
     options = SchemeOptions(
         prefetch=args.prefetch, faults=plan, monitor=args.monitor,
+        telemetry=telemetry,
     )
     system = build_system(
         args.scheme, config, suite_specs(args.workload, args.cores),
-        options,
+        options, engine=args.engine,
     )
     result = system.run()
+    if telemetry is not None:
+        telemetry.harvest(result, system.controller)
+        if metrics_handle is not None:
+            _write_registry(
+                telemetry.registry, metrics_handle, args.metrics
+            )
+            metrics_handle.close()
+            print(f"metrics: {args.metrics}", file=sys.stderr)
+        if trace_handle is not None:
+            from .telemetry import export_chrome_trace
+
+            n = export_chrome_trace(telemetry.collector, trace_handle)
+            trace_handle.close()
+            print(f"trace: {n} events -> {args.trace}", file=sys.stderr)
     rows = [
         ["cycles", result.cycles],
         ["reads completed", result.total_reads],
@@ -185,6 +233,84 @@ def cmd_covert(args) -> int:
     return 0 if result.bit_error_rate >= 0.3 else 1
 
 
+def cmd_stats(args) -> int:
+    """Leakage-aware statistics for one run.
+
+    Prints the per-domain inter-service-time distribution — the paper's
+    invariance observable — plus engine throughput, and optionally
+    writes the full metrics registry.  Exit status 1 when an FS scheme's
+    distribution is *not* degenerate (a timing-channel candidate the
+    dashboard must catch); 0 otherwise.
+    """
+    from .sim.runner import build_system
+    from .telemetry import TelemetrySession, histogram_report, \
+        inter_service_histogram, is_degenerate, open_sink
+
+    config = _config(args)
+    handle = open_sink(args.metrics) if args.metrics else None
+    telemetry = TelemetrySession(profile=True)
+    options = SchemeOptions(telemetry=telemetry)
+    system = build_system(
+        args.scheme, config, suite_specs(args.workload, args.cores),
+        options, engine=args.engine,
+    )
+    result = system.run()
+    telemetry.harvest(result, system.controller)
+    histograms = inter_service_histogram(result.service_trace)
+    print(histogram_report(histograms, scheme=args.scheme))
+    profiler = telemetry.profiler
+    if profiler is not None and profiler.wall_seconds > 0:
+        line = (
+            f"\nengine ({args.engine}): {result.cycles:,} cycles in "
+            f"{profiler.wall_seconds:.3f}s "
+            f"({profiler.cycles_per_second:,.0f} cycles/s"
+        )
+        if profiler.stride_count:
+            line += f", mean stride {profiler.mean_stride:.1f} cycles"
+        print(line + ")")
+    if handle is not None:
+        _write_registry(telemetry.registry, handle, args.metrics)
+        handle.close()
+        print(f"metrics: {args.metrics}", file=sys.stderr)
+    if args.scheme.startswith("fs") and not is_degenerate(histograms):
+        return 1
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Record one run's timeline and export Chrome trace JSON."""
+    from .sim.runner import build_system
+    from .telemetry import TelemetrySession, TraceCollector, \
+        export_chrome_trace, open_sink
+
+    config = _config(args)
+    handle = open_sink(args.output)  # fail fast on a bad path
+    collector = TraceCollector(capacity=args.capacity)
+    telemetry = TelemetrySession(collector=collector, profile=True)
+    options = SchemeOptions(telemetry=telemetry)
+    system = build_system(
+        args.scheme, config, suite_specs(args.workload, args.cores),
+        options, engine=args.engine,
+    )
+    result = system.run()
+    telemetry.harvest(result, system.controller)
+    n = export_chrome_trace(collector, handle, metadata={
+        "scheme": args.scheme,
+        "workload": args.workload,
+        "cores": args.cores,
+        "cycles": result.cycles,
+    })
+    handle.close()
+    dropped = (
+        f" ({collector.dropped_events} oldest dropped by the "
+        f"{args.capacity}-event ring)"
+        if collector.dropped_events else ""
+    )
+    print(f"wrote {n} events{dropped} -> {args.output}")
+    print("open in https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     """Run a (scheme x workload) grid with failure isolation.
 
@@ -219,6 +345,9 @@ def cmd_sweep(args) -> int:
                   f"{f.error_type}: {f.error}")
     if args.checkpoint:
         print(f"\ncheckpoint: {args.checkpoint}")
+    if args.metrics:
+        sweep.export_metrics(args.metrics)
+        print(f"metrics: {args.metrics}")
     return 1 if sweep.failed_points else 0
 
 
@@ -251,6 +380,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the online invariant monitor and report "
              "violations (exit 1 when any fire)",
     )
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the run's metrics registry (JSON; .prom/.txt "
+             "selects Prometheus text exposition)",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the run's timeline as Chrome trace-event JSON "
+             "(open in Perfetto)",
+    )
+    p.add_argument(
+        "--engine", choices=ENGINES, default="reference",
+        help="simulation engine (default reference)",
+    )
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
@@ -273,6 +416,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_covert)
 
     p = sub.add_parser(
+        "stats",
+        help="per-domain inter-service-time distribution + metrics",
+    )
+    p.add_argument("scheme", choices=SCHEMES)
+    p.add_argument("workload", help="benchmark or mix name")
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the metrics registry (JSON; .prom/.txt selects "
+             "Prometheus text exposition)",
+    )
+    p.add_argument(
+        "--engine", choices=ENGINES, default="fast",
+        help="simulation engine (default fast)",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "trace", help="export a run as Chrome trace-event JSON"
+    )
+    p.add_argument("scheme", choices=SCHEMES)
+    p.add_argument("workload", help="benchmark or mix name")
+    p.add_argument("output", help="output path (e.g. out.trace.json)")
+    p.add_argument(
+        "--capacity", type=int, default=1 << 20,
+        help="trace ring-buffer bound in events (default 1Mi; the "
+             "oldest events are dropped past it)",
+    )
+    p.add_argument(
+        "--engine", choices=ENGINES, default="fast",
+        help="simulation engine (default fast)",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
         "sweep", help="resilient (scheme x workload) grid"
     )
     p.add_argument("--schemes", nargs="+", default=["fs_rp"],
@@ -290,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "it is recorded as failed instead of hanging")
     p.add_argument("--strict", action="store_true",
                    help="re-raise the first cell failure (CI gate)")
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="aggregate the finished grid into a metrics artifact "
+             "(JSON; .prom/.txt selects Prometheus text exposition)",
+    )
     _add_common(p)
     p.set_defaults(func=cmd_sweep)
 

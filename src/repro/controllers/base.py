@@ -123,6 +123,10 @@ class MemoryController(abc.ABC):
         #: :class:`repro.core.online_monitor.OnlineInvariantMonitor`);
         #: observes every service event and issued command live.
         self.monitor = None
+        #: Optional observability session (see
+        #: :class:`repro.telemetry.session.TelemetrySession`); strictly
+        #: passive, guarded by one ``is None`` check per event.
+        self.telemetry = None
         #: Full command log (only when log_commands is set; used by the
         #: timing checker and the security tests).
         self.command_log: List[Command] = []
@@ -200,6 +204,21 @@ class MemoryController(abc.ABC):
         """Attach an online invariant watchdog to this controller."""
         self.monitor = monitor
 
+    def attach_telemetry(self, session) -> None:
+        """Attach a telemetry session to this controller.
+
+        Also wires the session into the controller's fault injector and
+        online monitor when present, so fault strikes and invariant
+        violations stream into the same registry/timeline.  Composite
+        controllers override this to fan out to their sub-controllers.
+        """
+        self.telemetry = session
+        injector = getattr(self, "fault_injector", None)
+        if injector is not None:
+            injector.telemetry = session
+        if self.monitor is not None:
+            self.monitor.telemetry = session
+
     def _issue(self, command: Command) -> Optional[int]:
         """Issue a command to its channel, with optional logging."""
         data_start = self.dram.channels[command.channel].issue(command)
@@ -207,6 +226,8 @@ class MemoryController(abc.ABC):
             self.command_log.append(command)
         if self.monitor is not None:
             self.monitor.observe_command(command)
+        if self.telemetry is not None:
+            self.telemetry.on_command(self, command)
         return data_start
 
     def _schedule_release(self, request: Request, cycle: int) -> None:
@@ -219,6 +240,8 @@ class MemoryController(abc.ABC):
         self.service_trace[domain].append((cycle, what))
         if self.monitor is not None:
             self.monitor.observe_service(domain, cycle, what)
+        if self.telemetry is not None:
+            self.telemetry.on_service(self, domain, cycle, what)
 
     # ------------------------------------------------------------------
 

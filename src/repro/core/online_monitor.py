@@ -111,6 +111,10 @@ class OnlineInvariantMonitor:
         self.max_recorded = max_recorded
         self.violations: List[object] = []
         self.total_violations = 0
+        #: Optional telemetry session (wired by
+        #: ``MemoryController.attach_telemetry``); every flagged
+        #: violation streams into it live.
+        self.telemetry = None
         self._channels: Dict[int, _ChannelState] = {}
         # Conformance state.
         self._allowed: Dict[int, Set[int]] = {}
@@ -149,6 +153,8 @@ class OnlineInvariantMonitor:
             self.violations.append(
                 InvariantViolation(domain, cycle, reason)
             )
+        if self.telemetry is not None:
+            self.telemetry.on_violation(domain, cycle, reason)
         if self.strict:
             raise ScheduleViolationError(reason, domain=domain,
                                          cycle=cycle)
@@ -157,8 +163,13 @@ class OnlineInvariantMonitor:
         self.total_violations += 1
         if len(self.violations) < self.max_recorded:
             self.violations.append(violation)
+        domain = violation.second.domain
+        if self.telemetry is not None:
+            self.telemetry.on_violation(
+                domain if domain >= 0 else None,
+                violation.second.cycle, str(violation),
+            )
         if self.strict:
-            domain = violation.second.domain
             raise ScheduleViolationError(
                 str(violation),
                 domain=domain if domain >= 0 else None,

@@ -18,6 +18,8 @@ genuine bug in the simulator:
   mis-specified (unknown fault kind, rate out of range).
 * :class:`SimTimeoutError` — a run exceeded its cycle or wall-clock
   budget; sweeps record these and move on instead of aborting the grid.
+* :class:`TelemetryError` — the observability layer was misused (metric
+  re-registered with a different shape, unwritable trace/metrics sink).
 
 ``ConfigError`` and ``TraceError`` also subclass :class:`ValueError` so
 pre-existing callers that caught ``ValueError`` keep working.
@@ -80,6 +82,17 @@ class SimTimeoutError(ReproError):
         self.cycle = cycle
 
 
+class TelemetryError(ReproError):
+    """Telemetry misuse: bad metric registration, unwritable sink, ...
+
+    Raised by :mod:`repro.telemetry` for programming errors (re-registering
+    a metric with a different kind or label set, wrong labels on a sample)
+    and for environment problems (a trace/metrics output path that cannot
+    be written).  Never raised from the simulation hot path once a session
+    is attached — collection itself is infallible by design.
+    """
+
+
 __all__ = [
     "ReproError",
     "ConfigError",
@@ -87,4 +100,5 @@ __all__ = [
     "ScheduleViolationError",
     "FaultInjectionError",
     "SimTimeoutError",
+    "TelemetryError",
 ]

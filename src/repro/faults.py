@@ -178,6 +178,10 @@ class FaultInjector:
         self.counts: Counter = Counter()
         self._enqueues: Dict[int, int] = {}
         self._overflow_until: Dict[int, int] = {}
+        #: Optional telemetry session (wired by
+        #: ``MemoryController.attach_telemetry``); every recorded strike
+        #: streams into it as a labeled counter + timeline event.
+        self.telemetry = None
 
     # -- deterministic coin ---------------------------------------------
 
@@ -198,10 +202,21 @@ class FaultInjector:
         self.counts[kind] += 1
         if len(self.events) < self.MAX_EVENTS:
             self.events.append(FaultEvent(kind, domain, cycle, detail))
+        if self.telemetry is not None:
+            self.telemetry.on_fault(kind, domain, cycle, detail)
 
     @property
     def total(self) -> int:
         return sum(self.counts.values())
+
+    def counts_by_name(self) -> Dict[str, int]:
+        """Strike counts keyed by fault-kind name (JSON/metric-friendly)."""
+        return {
+            kind.value: count
+            for kind, count in sorted(
+                self.counts.items(), key=lambda kv: kv[0].value
+            )
+        }
 
     def summary(self) -> str:
         if not self.counts:

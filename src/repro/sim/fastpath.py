@@ -90,12 +90,24 @@ _INF = float("inf")
 _REL_CACHE: Dict[Tuple, Tuple] = {}
 #: Schedule cache keyed on (kind, params, num_domains, extras...).
 _SCHEDULE_CACHE: Dict[Tuple, "TemplatedSchedule"] = {}
+#: Process-global schedule-template cache effectiveness counters,
+#: exported (as volatile metrics) by the engine profiler.
+_TEMPLATE_HITS = 0
+_TEMPLATE_MISSES = 0
+
+
+def template_cache_stats() -> Dict[str, int]:
+    """Hit/miss counts for the process-global schedule-template cache."""
+    return {"hits": _TEMPLATE_HITS, "misses": _TEMPLATE_MISSES}
 
 
 def clear_caches() -> None:
     """Drop the schedule/template caches (test isolation helper)."""
+    global _TEMPLATE_HITS, _TEMPLATE_MISSES
     _REL_CACHE.clear()
     _SCHEDULE_CACHE.clear()
+    _TEMPLATE_HITS = 0
+    _TEMPLATE_MISSES = 0
 
 
 def _rel_times(params, mode) -> Tuple:
@@ -157,14 +169,18 @@ def cached_fs_schedule(
     pipeline solver then runs once per ``(scheme, timing, domains)``
     triple instead of once per simulation.
     """
+    global _TEMPLATE_HITS, _TEMPLATE_MISSES
     key = ("fs", params, num_domains, sharing, mode, slots_per_domain)
     schedule = _SCHEDULE_CACHE.get(key)
     if schedule is None:
+        _TEMPLATE_MISSES += 1
         schedule = TemplatedSchedule(build_fs_schedule(
             params, num_domains, sharing, mode=mode,
             slots_per_domain=slots_per_domain,
         ))
         _SCHEDULE_CACHE[key] = schedule
+    else:
+        _TEMPLATE_HITS += 1
     return schedule
 
 
@@ -173,13 +189,17 @@ def cached_triple_alternation_schedule(
 ) -> TemplatedSchedule:
     """Memoized :func:`~repro.core.schedule
     .build_triple_alternation_schedule`."""
+    global _TEMPLATE_HITS, _TEMPLATE_MISSES
     key = ("ta", params, num_domains)
     schedule = _SCHEDULE_CACHE.get(key)
     if schedule is None:
+        _TEMPLATE_MISSES += 1
         schedule = TemplatedSchedule(
             build_triple_alternation_schedule(params, num_domains)
         )
         _SCHEDULE_CACHE[key] = schedule
+    else:
+        _TEMPLATE_HITS += 1
     return schedule
 
 
@@ -252,6 +272,8 @@ class _TrustedIssueMixin:
             self.command_log.append(command)
         if self.monitor is not None:
             self.monitor.observe_command(command)
+        if self.telemetry is not None:
+            self.telemetry.on_command(self, command)
         return data_start
 
 
@@ -1089,6 +1111,13 @@ class FastSystem(System):
             return super().run(max_cycles, target_reads, wall_budget_s)
         controller = self.controller
         clock = 0
+        telemetry = self.telemetry
+        profiler = (
+            telemetry.profiler if telemetry is not None else None
+        )
+        profile_start = (
+            time.monotonic() if profiler is not None else None
+        )
         deadline = (
             time.monotonic() + wall_budget_s
             if wall_budget_s is not None else None
@@ -1164,9 +1193,12 @@ class FastSystem(System):
                 # again: the reference loop would spin through internal
                 # events (dummy slots) until max_cycles.  Jump there.
                 tmin = max_cycles
-            clock = tmin if tmin > clock else clock + 1
-            if clock > max_cycles:
-                clock = max_cycles
+            new_clock = tmin if tmin > clock else clock + 1
+            if new_clock > max_cycles:
+                new_clock = max_cycles
+            if profiler is not None:
+                profiler.note_stride(new_clock - clock)
+            clock = new_clock
             delivered = True
             while delivered:
                 delivered = False
@@ -1197,4 +1229,8 @@ class FastSystem(System):
                     if cores[i].done:
                         not_done.discard(i)
         controller.finalize()
+        if profiler is not None:
+            profiler.note_run(
+                clock, time.monotonic() - profile_start
+            )
         return self._collect(clock)

@@ -172,6 +172,23 @@ class MultiChannelFsController(MemoryController):
     def service_trace(self, value) -> None:
         pass
 
+    def attach_telemetry(self, session) -> None:
+        """Fan the session out to every per-channel sub-controller.
+
+        Sub-controllers trace with *channel-local* domain ids, so each
+        one registers its local -> global renumbering with the session:
+        metric labels and trace tracks stay globally consistent.
+        """
+        super().attach_telemetry(session)
+        by_sub: Dict[int, Dict[int, int]] = {}
+        for global_id, (channel, local) in self._local_id.items():
+            by_sub.setdefault(channel, {})[local] = global_id
+        for channel, controller in self._sub.items():
+            controller.attach_telemetry(session)
+            session.register_domain_map(
+                controller, by_sub.get(channel, {})
+            )
+
     def finalize(self) -> None:
         self.dram.finalize(self.now)
 

@@ -101,6 +101,13 @@ class SchemeOptions:
     #: .ScheduleViolationError` the cycle an invariant breaks (instead
     #: of accumulating violations for post-run inspection).
     monitor_strict: bool = False
+    #: Optional :class:`~repro.telemetry.session.TelemetrySession`.
+    #: When set, the controller (and its fault injector / monitor)
+    #: streams every service event, DRAM command, fault, and violation
+    #: into it, and :func:`run_scheme` harvests the finished run's stats
+    #: into the same registry.  ``None`` (the default) keeps every hot
+    #: path on the single ``is None`` fast check.
+    telemetry: object = None
 
 
 def _channel_part_geometry(config: SystemConfig):
@@ -334,6 +341,9 @@ def build_system(
         scheme, config, partition, options, fault_injector, engine=engine
     )
     _attach_runtime_verification(controller, config, options)
+    if options.telemetry is not None:
+        # After the monitor: attach_telemetry wires into it too.
+        options.telemetry.attach(controller)
     cores = []
     for d, spec in enumerate(specs):
         trace = generate_trace(
@@ -347,8 +357,11 @@ def build_system(
     if engine == "fast":
         from .fastpath import FastSystem
 
-        return FastSystem(controller, partition, cores, scheme=scheme)
-    return System(controller, partition, cores, scheme=scheme)
+        system = FastSystem(controller, partition, cores, scheme=scheme)
+    else:
+        system = System(controller, partition, cores, scheme=scheme)
+    system.telemetry = options.telemetry
+    return system
 
 
 def run_scheme(
@@ -360,6 +373,16 @@ def run_scheme(
     wall_budget_s: Optional[float] = None,
     engine: str = "reference",
 ) -> RunResult:
-    """Build and run one scheme to completion."""
+    """Build and run one scheme to completion.
+
+    When the options carry a telemetry session, the finished run's
+    legacy stat structs are harvested into its registry before the
+    result is returned.
+    """
     system = build_system(scheme, config, specs, options, engine=engine)
-    return system.run(max_cycles=max_cycles, wall_budget_s=wall_budget_s)
+    result = system.run(
+        max_cycles=max_cycles, wall_budget_s=wall_budget_s
+    )
+    if options is not None and options.telemetry is not None:
+        options.telemetry.harvest(result, system.controller)
+    return result

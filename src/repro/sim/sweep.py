@@ -50,6 +50,11 @@ class SweepPoint:
     bus_utilization: float
     mean_read_latency: float
     energy_pj: float
+    #: Simulated cycles (0 on checkpoints predating the field).
+    cycles: int = 0
+    #: Fault strikes by kind name, when the cell armed an injector.
+    #: Defaults keep version-1 checkpoints loadable.
+    faults: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)
@@ -222,6 +227,8 @@ class Sweep:
             bus_utilization=result.bus_utilization,
             mean_read_latency=result.stats.mean_read_latency,
             energy_pj=result.energy.total_pj,
+            cycles=result.cycles,
+            faults=result.faults,
         )
         self.points.append(point)
         self._completed[key] = point
@@ -274,3 +281,87 @@ class Sweep:
         if not values:
             raise ValueError("no points")
         return sum(values) / len(values)
+
+    # ------------------------------------------------------------------
+    # Telemetry export.
+    # ------------------------------------------------------------------
+
+    def metrics_registry(self):
+        """Aggregate the grid into a fresh
+        :class:`~repro.telemetry.registry.MetricsRegistry`.
+
+        Every per-cell headline number becomes a gauge labeled with the
+        cell's identity, fault strikes fold into one labeled counter
+        across the whole grid, and failures are counted by exception
+        type — so a dashboard can alert on
+        ``sweep_failed_cells_total > 0`` or on any FS cell whose
+        ``sweep_weighted_ipc`` regresses.
+        """
+        from ..telemetry.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "sweep_cells_total", "completed sweep cells"
+        ).inc(len(self.points))
+        registry.counter(
+            "sweep_failed_cells_total", "failed (isolated) sweep cells"
+        ).inc(len(self.failed_points))
+        labels = ("scheme", "workload", "cores", "label")
+        ipc = registry.gauge(
+            "sweep_weighted_ipc",
+            "sum of per-core IPCs normalized to the baseline", labels,
+        )
+        util = registry.gauge(
+            "sweep_bus_utilization", "data-bus busy fraction", labels
+        )
+        latency = registry.gauge(
+            "sweep_mean_read_latency_cycles",
+            "mean demand-read latency", labels,
+        )
+        energy = registry.gauge(
+            "sweep_energy_pj", "total DRAM energy (picojoules)", labels
+        )
+        cycles = registry.gauge(
+            "sweep_cycles", "simulated cycles", labels
+        )
+        faults = registry.counter(
+            "sweep_faults_injected_total",
+            "fault strikes across the whole grid", ("kind",),
+        )
+        for p in self.points:
+            key = dict(scheme=p.scheme, workload=p.workload,
+                       cores=p.cores, label=p.label)
+            ipc.set(round(p.weighted_ipc, 6), **key)
+            util.set(round(p.bus_utilization, 6), **key)
+            latency.set(round(p.mean_read_latency, 6), **key)
+            energy.set(round(p.energy_pj, 3), **key)
+            cycles.set(p.cycles, **key)
+            for kind, count in sorted((p.faults or {}).items()):
+                faults.inc(count, kind=kind)
+        failures = registry.counter(
+            "sweep_failures_total",
+            "isolated cell failures by exception type", ("error_type",),
+        )
+        for f in self.failed_points:
+            failures.inc(error_type=f.error_type)
+        return registry
+
+    def export_metrics(self, path: str) -> None:
+        """Write the aggregated grid metrics to ``path``.
+
+        ``.prom`` / ``.txt`` suffixes select the Prometheus text
+        exposition format; anything else writes the JSON export.  Path
+        errors surface as :class:`~repro.errors.TelemetryError`.
+        """
+        from ..telemetry.collector import open_sink
+
+        registry = self.metrics_registry()
+        handle = open_sink(path)
+        try:
+            if path.endswith((".prom", ".txt")):
+                handle.write(registry.to_prometheus())
+            else:
+                handle.write(registry.to_json())
+                handle.write("\n")
+        finally:
+            handle.close()

@@ -52,6 +52,9 @@ class RunResult:
     service_trace: Dict[int, List[Tuple[int, str]]]
     #: FS accounting-only energy adjustments, when the controller has any.
     adjustments: object = None
+    #: Fault strikes by kind name (None when no injector was armed);
+    #: seed-deterministic, so identical across engines.
+    faults: Optional[Dict[str, int]] = None
 
     @property
     def total_reads(self) -> int:
@@ -90,6 +93,10 @@ class System:
         self.power_model = power_model or PowerModel(
             controller.params
         )
+        #: Optional :class:`~repro.telemetry.session.TelemetrySession`;
+        #: set by the runner when observability is requested.  The fast
+        #: driver reads its profiler for stride/wall-clock accounting.
+        self.telemetry = None
         self._staged: List[Optional[Request]] = [None] * len(self.cores)
         self._core_index: Dict[int, int] = {
             id(core): i for i, core in enumerate(self.cores)
@@ -125,6 +132,11 @@ class System:
         controller = self.controller
         clock = 0
         reads_done = 0
+        telemetry = self.telemetry
+        profiler = telemetry.profiler if telemetry is not None else None
+        profile_start = (
+            time.monotonic() if profiler is not None else None
+        )
         deadline = (
             time.monotonic() + wall_budget_s
             if wall_budget_s is not None else None
@@ -180,6 +192,10 @@ class System:
                     reads_done += 1
                     self._pump(self._core_index[id(core)])
         controller.finalize()
+        if profiler is not None:
+            profiler.note_run(
+                clock, time.monotonic() - profile_start
+            )
         return self._collect(clock)
 
     # ------------------------------------------------------------------
@@ -197,6 +213,10 @@ class System:
                 profile=core.completion_profile(),
             ))
         energy = self.power_model.system_energy(self.controller.dram)
+        injector = getattr(self.controller, "fault_injector", None)
+        faults = (
+            injector.counts_by_name() if injector is not None else None
+        )
         return RunResult(
             scheme=self.scheme,
             cycles=clock,
@@ -206,4 +226,5 @@ class System:
             energy=energy,
             service_trace=self.controller.service_trace,
             adjustments=getattr(self.controller, "adjustments", None),
+            faults=faults,
         )

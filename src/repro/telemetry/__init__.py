@@ -1,0 +1,65 @@
+"""Unified telemetry: metrics registry, trace export, engine profiling.
+
+The observability layer for the whole simulation stack (ISSUE 3).  One
+:class:`TelemetrySession` attaches to a controller and streams every
+slot grant, DRAM command, fault strike, and invariant violation into a
+deterministic :class:`MetricsRegistry` and an optional cycle-accurate
+:class:`TraceCollector`; after the run, the legacy stat structs are
+harvested into the same registry (:mod:`repro.telemetry.compat`), and
+the timeline can be exported as Chrome trace-event JSON
+(:func:`export_chrome_trace`) for Perfetto.
+
+Design rules:
+
+* **inert when absent** — controllers guard each hook behind one
+  ``is None`` check; a run without a session allocates nothing;
+* **passive when present** — collection never feeds back into any
+  simulated observable, so enabling telemetry cannot perturb a run;
+* **deterministic** — :meth:`MetricsRegistry.snapshot` excludes every
+  wall-clock-derived (volatile) metric and sorts everything else, so
+  the fast and reference engines produce byte-identical snapshots
+  (pinned by ``tests/test_differential.py``).
+"""
+
+from .chrome import chrome_trace_dict, export_chrome_trace
+from .collector import TraceCollector, TraceEvent, open_sink
+from .compat import harvest_run, run_to_registry
+from .profiler import EngineProfiler
+from .registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
+from .report import (
+    histogram_report,
+    histogram_to_registry,
+    inter_service_histogram,
+    is_degenerate,
+)
+from .session import KIND_NAMES, TelemetrySession
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "KIND_NAMES",
+    "Metric",
+    "MetricsRegistry",
+    "TelemetrySession",
+    "TraceCollector",
+    "TraceEvent",
+    "chrome_trace_dict",
+    "export_chrome_trace",
+    "harvest_run",
+    "histogram_report",
+    "histogram_to_registry",
+    "inter_service_histogram",
+    "is_degenerate",
+    "open_sink",
+    "run_to_registry",
+]

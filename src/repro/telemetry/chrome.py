@@ -1,0 +1,117 @@
+"""Chrome trace-event export: load a simulated run in Perfetto.
+
+Converts the :class:`~repro.telemetry.collector.TraceCollector` timeline
+into the Chrome trace-event JSON format (the ``chrome://tracing`` /
+`Perfetto <https://ui.perfetto.dev>`_ "JSON array with metadata" flavor):
+
+* one **process** per track group — the per-security-domain slot
+  timeline, and one per DRAM channel for the command stream;
+* one **thread** per security domain (slot grants: demand reads/writes,
+  dummies, prefetches, bubbles, faults) or per rank/bank (ACT / column /
+  PRE / REF commands);
+* counter tracks for per-domain queue depths.
+
+Within every (pid, tid) track the exported ``ts`` values are
+monotonically non-decreasing (events are sorted before id assignment),
+which is what trace viewers require and what
+``tests/test_telemetry.py`` asserts.
+
+Timestamps are memory-controller cycles exported 1:1 as microseconds —
+trace viewers have no "cycles" unit, and a 1 cycle = 1 us mapping keeps
+the numbers readable and exact (no float scaling).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Tuple, Union
+
+from .collector import TraceCollector, TraceEvent, open_sink
+
+
+def chrome_trace_dict(
+    events: Iterable[TraceEvent],
+    metadata: Union[Dict[str, object], None] = None,
+) -> Dict[str, object]:
+    """Build the Chrome trace-event JSON object.
+
+    Track-name pids/tids are mapped to deterministic small integers
+    (sorted by name), and ``process_name`` / ``thread_name`` metadata
+    events are emitted so viewers show the human-readable names.
+    """
+    ordered = sorted(events, key=lambda e: (e.ts, e.pid, e.tid, e.name))
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    for event in ordered:
+        if event.pid not in pids:
+            pids[event.pid] = 0
+        key = (event.pid, event.tid)
+        if key not in tids:
+            tids[key] = 0
+    for i, name in enumerate(sorted(pids)):
+        pids[name] = i + 1
+    for i, key in enumerate(sorted(tids)):
+        tids[key] = i + 1
+
+    trace_events: List[Dict[str, object]] = []
+    for name, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        trace_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+    for (pname, tname), tid in sorted(tids.items(),
+                                      key=lambda kv: kv[1]):
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pids[pname],
+            "tid": tid, "args": {"name": tname},
+        })
+    for event in ordered:
+        entry: Dict[str, object] = {
+            "name": event.name,
+            "ph": event.ph,
+            "ts": event.ts,
+            "pid": pids[event.pid],
+            "tid": tids[(event.pid, event.tid)],
+        }
+        if event.ph == "X":
+            entry["dur"] = event.dur
+        if event.args:
+            entry["args"] = event.args
+        trace_events.append(entry)
+    out: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "memory-controller cycles (1 cycle = 1us)"},
+    }
+    if metadata:
+        out["otherData"].update(metadata)
+    return out
+
+
+def export_chrome_trace(
+    collector: TraceCollector,
+    path_or_file: Union[str, IO[str]],
+    metadata: Union[Dict[str, object], None] = None,
+) -> int:
+    """Write the collector's retained events as Chrome trace JSON.
+
+    Returns the number of exported (non-metadata) events.  Path errors
+    surface as :class:`~repro.errors.TelemetryError`.
+    """
+    events = collector.events()
+    payload = chrome_trace_dict(events, metadata)
+    handle = (
+        open_sink(path_or_file) if isinstance(path_or_file, str)
+        else path_or_file
+    )
+    try:
+        json.dump(payload, handle, indent=None,
+                  separators=(",", ":"), sort_keys=True)
+        handle.write("\n")
+    finally:
+        if isinstance(path_or_file, str):
+            handle.close()
+    return len(events)
+
+
+__all__ = ["chrome_trace_dict", "export_chrome_trace"]

@@ -1,0 +1,383 @@
+"""A deterministic metrics registry: counters, gauges, histograms.
+
+The registry is the unified export surface for every statistic the
+simulation stack produces (controller counters, DRAM activity, fault and
+monitor events, sweep aggregates, engine profiles).  Design constraints,
+in order:
+
+1. **Determinism.**  Two runs that produce the same simulated
+   observables must produce byte-identical metric snapshots —
+   ``tests/test_differential.py`` pins metric snapshots across the fast
+   and reference engines.  Everything is therefore stored and exported
+   in sorted order, and metrics that depend on wall-clock time (engine
+   profiling) are flagged ``volatile`` and excluded from
+   :meth:`MetricsRegistry.snapshot`.
+2. **Zero third-party dependencies.**  The export formats are plain
+   JSON (:meth:`MetricsRegistry.to_json_dict`) and Prometheus text
+   exposition (:meth:`MetricsRegistry.to_prometheus`), both produced
+   with the standard library only.
+3. **Cheap when idle.**  An unreferenced registry costs nothing; the
+   simulation hot paths guard every telemetry call behind a single
+   ``is None`` check (see :mod:`repro.telemetry.session`).
+
+Labels are passed as keyword arguments and validated against the
+metric's declared label names, Prometheus-client style::
+
+    faults = registry.counter(
+        "faults_injected_total", "faults that struck", ("kind",)
+    )
+    faults.inc(kind="drop_command")
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import TelemetryError
+
+#: Default histogram bucket upper bounds (cycles-oriented powers of two).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+    4096, 16384, 65536, 262144, 1048576,
+)
+
+
+def _label_key(
+    labelnames: Tuple[str, ...], labels: Dict[str, object], name: str
+) -> Tuple[str, ...]:
+    """Validate and canonicalize one sample's labels."""
+    if set(labels) != set(labelnames):
+        raise TelemetryError(
+            f"metric {name!r} expects labels {sorted(labelnames)}, "
+            f"got {sorted(labels)}"
+        )
+    return tuple(str(labels[k]) for k in labelnames)
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting (ints stay ints)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+        and abs(value) < 2 ** 53
+    ):
+        return str(int(value))
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+class Metric:
+    """Base class: one named family of labeled samples."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        volatile: bool = False,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        #: Volatile metrics depend on wall-clock time (profiling); they
+        #: are exported but excluded from determinism snapshots.
+        self.volatile = volatile
+        self._samples: Dict[Tuple[str, ...], object] = {}
+
+    # -- introspection --------------------------------------------------
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """Samples in deterministic (sorted label) order."""
+        return sorted(self._samples.items())
+
+    def value(self, **labels) -> object:
+        """The sample value for one label set (0 when never touched)."""
+        key = _label_key(self.labelnames, labels, self.name)
+        return self._samples.get(key, 0)
+
+    def _labels_text(self, key: Tuple[str, ...],
+                     extra: str = "") -> str:
+        parts = [
+            f'{n}="{_escape(v)}"' for n, v in zip(self.labelnames, key)
+        ]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    def expose(self) -> List[str]:
+        """Prometheus text lines for this family."""
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, value in self.samples():
+            lines.append(
+                f"{self.name}{self._labels_text(key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+    def snapshot_samples(self) -> Dict[str, object]:
+        """JSON-friendly sample map keyed by a canonical label string."""
+        out = {}
+        for key, value in self.samples():
+            label = ",".join(
+                f"{n}={v}" for n, v in zip(self.labelnames, key)
+            )
+            out[label] = value
+        return out
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = _label_key(self.labelnames, labels, self.name)
+        self._samples[key] = self._samples.get(key, 0) + amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down (set to the latest observation)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels, self.name)
+        self._samples[key] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_key(self.labelnames, labels, self.name)
+        self._samples[key] = self._samples.get(key, 0) + amount
+
+
+class Histogram(Metric):
+    """A bucketed distribution with exact ``sum`` and ``count``.
+
+    Buckets are cumulative upper bounds, Prometheus style; ``+Inf`` is
+    implicit.  Per label set the stored sample is a dict
+    ``{"buckets": {le: count}, "sum": s, "count": n}``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        volatile: bool = False,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, volatile)
+        bounds = sorted(set(float(b) for b in buckets))
+        if not bounds:
+            raise TelemetryError(
+                f"histogram {self.name!r} needs at least one bucket"
+            )
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels, self.name)
+        sample = self._samples.get(key)
+        if sample is None:
+            sample = {
+                "buckets": [0] * (len(self.bounds) + 1),
+                "sum": 0,
+                "count": 0,
+            }
+            self._samples[key] = sample
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        sample["buckets"][idx] += 1
+        sample["sum"] += value
+        sample["count"] += 1
+
+    def expose(self) -> List[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, sample in self.samples():
+            cumulative = 0
+            for bound, count in zip(self.bounds, sample["buckets"]):
+                cumulative += count
+                le = f'le="{_format_value(bound)}"'
+                lines.append(
+                    f"{self.name}_bucket{self._labels_text(key, le)} "
+                    f"{cumulative}"
+                )
+            cumulative += sample["buckets"][-1]
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{self.name}_bucket{self._labels_text(key, inf)} "
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{self.name}_sum{self._labels_text(key)} "
+                f"{_format_value(sample['sum'])}"
+            )
+            lines.append(
+                f"{self.name}_count{self._labels_text(key)} "
+                f"{sample['count']}"
+            )
+        return lines
+
+    def snapshot_samples(self) -> Dict[str, object]:
+        out = {}
+        for key, sample in self.samples():
+            label = ",".join(
+                f"{n}={v}" for n, v in zip(self.labelnames, key)
+            )
+            out[label] = {
+                "buckets": {
+                    _format_value(b): c
+                    for b, c in zip(self.bounds, sample["buckets"])
+                    if c
+                },
+                "overflow": sample["buckets"][-1],
+                "sum": sample["sum"],
+                "count": sample["count"],
+            }
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent registration.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking
+    for an existing name returns the existing family (kind and label
+    names must match — a mismatch is a programming error surfaced as
+    :class:`~repro.errors.TelemetryError`).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labelnames: Sequence[str], volatile: bool,
+                       **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls) or (
+                metric.labelnames != tuple(labelnames)
+            ):
+                raise TelemetryError(
+                    f"metric {name!r} re-registered with a different "
+                    f"kind or label set"
+                )
+            return metric
+        metric = cls(
+            name, help_text, labelnames, volatile=volatile, **kwargs
+        )
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = (),
+                volatile: bool = False) -> Counter:
+        return self._get_or_create(
+            Counter, name, help_text, labelnames, volatile
+        )
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = (),
+              volatile: bool = False) -> Gauge:
+        return self._get_or_create(
+            Gauge, name, help_text, labelnames, volatile
+        )
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  volatile: bool = False) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames, volatile,
+            buckets=buckets,
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def metrics(self) -> List[Metric]:
+        """All families in deterministic (name) order."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic view of every **non-volatile** metric.
+
+        This is the object the differential suite compares across
+        engines: wall-clock-dependent (volatile) profiling metrics are
+        excluded, everything else must be bit-identical.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for metric in self.metrics():
+            if metric.volatile:
+                continue
+            out[metric.name] = {
+                "kind": metric.kind,
+                "samples": metric.snapshot_samples(),
+            }
+        return out
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Full JSON export (volatile metrics included, flagged)."""
+        metrics: Dict[str, object] = {}
+        for metric in self.metrics():
+            entry = {
+                "kind": metric.kind,
+                "help": metric.help_text,
+                "samples": metric.snapshot_samples(),
+            }
+            if metric.volatile:
+                entry["volatile"] = True
+            metrics[metric.name] = entry
+        return {"version": 1, "metrics": metrics}
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent,
+                          sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.expose())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+]

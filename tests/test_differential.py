@@ -23,9 +23,14 @@ remapping, and the online invariant monitor.  Fault-injection cases live
 in ``tests/test_fastpath_faults.py``.
 """
 
+import json
+
 import pytest
 
-from repro.sim.runner import SCHEMES, SchemeOptions
+from repro.sim.config import SystemConfig
+from repro.sim.runner import SCHEMES, SchemeOptions, run_scheme
+from repro.telemetry import TelemetrySession, TraceCollector
+from repro.workloads.spec import suite_specs
 
 from .engine_equivalence import check
 
@@ -110,3 +115,52 @@ def test_address_order_equivalent():
 def test_monitor_equivalent(scheme):
     """The online watchdog sees the same command stream either way."""
     check(scheme, options=SchemeOptions(monitor=True), accesses=100)
+
+
+# ---------------------------------------------------------------------
+# Telemetry determinism.
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    ["baseline", "fcfs", "tp_bp", "fs_rp", "fs_bp", "fs_reordered_bp",
+     "fs_np_ta", "fs_rp_mc"],
+)
+def test_metrics_snapshot_equivalent_across_engines(scheme):
+    """Full telemetry under both engines yields identical snapshots.
+
+    A fresh :class:`TelemetrySession` (registry + trace collector +
+    profiler) is attached per engine — sessions accumulate, so sharing
+    one across engines would double every counter.  The comparable
+    snapshot excludes volatile (wall-clock / engine-internal) metrics;
+    everything else — service counters, command counters, harvested
+    stats/energy/core gauges, cadence histograms — must serialize
+    bit-identically, as must the event streams.  The one carve-out is
+    the "queues" trace track: queue occupancy sampled at service time
+    depends on whether a same-cycle arrival has been enqueued yet,
+    which is an engine-interleaving artifact (the matching gauge is
+    flagged volatile for the same reason).
+    """
+    snapshots = {}
+    events = {}
+    for engine in ("reference", "fast"):
+        session = TelemetrySession(
+            collector=TraceCollector(), profile=True
+        )
+        options = SchemeOptions(telemetry=session, monitor=True)
+        config = SystemConfig(accesses_per_core=100)
+        run_scheme(
+            scheme, config, suite_specs("mix1", config.num_cores),
+            options, engine=engine,
+        )
+        snapshots[engine] = json.dumps(
+            session.registry.snapshot(), sort_keys=True
+        )
+        events[engine] = [
+            e for e in session.collector.events() if e.pid != "queues"
+        ]
+    assert snapshots["fast"] == snapshots["reference"], \
+        "metrics snapshots diverged between engines"
+    assert events["fast"] == events["reference"], \
+        "trace event streams diverged between engines"
