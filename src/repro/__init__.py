@@ -27,6 +27,9 @@ Packages:
 * :mod:`repro.cpu`, :mod:`repro.workloads`, :mod:`repro.cache` — load
   generation.
 * :mod:`repro.mapping` — address mapping and spatial partitioning.
+* :mod:`repro.schemes` — the declarative scheme registry: picklable
+  :class:`~repro.schemes.SchemeSpec` descriptions interpreted by
+  family builders (register one spec, run it everywhere).
 * :mod:`repro.sim` — system wiring and experiment runner.
 * :mod:`repro.analysis` — non-interference checks, covert channels,
   metrics, reporting.
@@ -75,6 +78,13 @@ from .controllers import (
     TemporalPartitioningController,
 )
 from .mapping import Geometry, make_partition
+from .schemes import (
+    REGISTRY,
+    SchemeRegistry,
+    SchemeSpec,
+    register_scheme,
+)
+from .errors import SchemeError
 from .sim import (
     SCHEMES,
     FailedPoint,
@@ -118,6 +128,8 @@ __all__ = [
     "FcfsController", "FrFcfsController",
     "TemporalPartitioningController",
     "Geometry", "make_partition",
+    "REGISTRY", "SchemeError", "SchemeRegistry", "SchemeSpec",
+    "register_scheme",
     "SCHEMES", "RunResult", "SchemeOptions", "System", "SystemConfig",
     "build_system", "run_scheme",
     "FailedPoint", "Sweep", "SweepPoint",

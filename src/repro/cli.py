@@ -272,7 +272,13 @@ def cmd_stats(args) -> int:
         _write_registry(telemetry.registry, handle, args.metrics)
         handle.close()
         print(f"metrics: {args.metrics}", file=sys.stderr)
-    if args.scheme.startswith("fs") and not is_degenerate(histograms):
+    # The degeneracy gate applies to fixed-service schemes only; the
+    # registry spec says which those are (no name sniffing).
+    from .schemes import REGISTRY
+
+    if REGISTRY.get(args.scheme).fixed_service and not is_degenerate(
+        histograms
+    ):
         return 1
     return 0
 
@@ -324,10 +330,10 @@ def cmd_sweep(args) -> int:
         checkpoint=args.checkpoint,
         point_wall_budget_s=args.wall_budget,
         strict=args.strict,
+        workers=args.workers,
+        engine=args.engine,
     )
-    for scheme in args.schemes:
-        for wl in args.workloads:
-            sweep.run_point(scheme, wl)
+    sweep.run_grid(args.schemes, args.workloads)
     rows = [
         [p.scheme, p.workload, round(p.weighted_ipc, 3),
          f"{p.bus_utilization:.1%}", f"{p.mean_read_latency:.1f}"]
@@ -338,6 +344,9 @@ def cmd_sweep(args) -> int:
          "read latency"],
         rows, title=f"sweep grid ({args.cores} cores)",
     ))
+    if sweep.last_grid_wall_s is not None:
+        print(f"\ngrid wall clock: {sweep.last_grid_wall_s:.2f}s "
+              f"({args.workers} worker(s))")
     if sweep.failed_points:
         print("\nfailed cells:")
         for f in sweep.failed_points:
@@ -469,6 +478,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "it is recorded as failed instead of hanging")
     p.add_argument("--strict", action="store_true",
                    help="re-raise the first cell failure (CI gate)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the grid (default 1; "
+                        "results are bit-identical at any count)")
+    p.add_argument(
+        "--engine", choices=ENGINES, default="fast",
+        help="simulation engine for every cell (default fast)",
+    )
     p.add_argument(
         "--metrics", default=None, metavar="PATH",
         help="aggregate the finished grid into a metrics artifact "

@@ -8,6 +8,9 @@ genuine bug in the simulator:
 * :class:`ConfigError` — an experiment was requested with an impossible
   or inconsistent platform configuration (e.g. a rank-partitioned scheme
   with fewer ranks than security domains).
+* :class:`SchemeError` — a scheme name is unknown to the scheme
+  registry, a spec is malformed, or a registration conflicts with an
+  existing one (subclass of :class:`ConfigError`).
 * :class:`TraceError` — a workload trace is malformed or violates the
   trace contract (bad direction, non-hex address, negative gap).
 * :class:`ScheduleViolationError` — the online invariant watchdog caught
@@ -36,6 +39,23 @@ class ReproError(Exception):
 
 class ConfigError(ReproError, ValueError):
     """An experiment configuration is invalid or internally inconsistent."""
+
+
+class SchemeError(ConfigError):
+    """A scheme name or :class:`~repro.schemes.SchemeSpec` is invalid.
+
+    Raised by the scheme registry for unknown scheme names (the message
+    carries the list of registered names), conflicting re-registrations,
+    and malformed specs.  Subclasses :class:`ConfigError` (and therefore
+    ``ValueError``) so historical ``except ValueError`` call sites keep
+    working.
+    """
+
+    def __init__(self, reason: str, known=None) -> None:
+        if known:
+            reason = f"{reason}; known schemes: {', '.join(known)}"
+        super().__init__(reason)
+        self.known = tuple(known) if known else ()
 
 
 class TraceError(ReproError, ValueError):
@@ -96,6 +116,7 @@ class TelemetryError(ReproError):
 __all__ = [
     "ReproError",
     "ConfigError",
+    "SchemeError",
     "TraceError",
     "ScheduleViolationError",
     "FaultInjectionError",

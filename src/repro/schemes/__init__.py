@@ -1,0 +1,51 @@
+"""Declarative scheme registry: scheme identity as data, not control
+flow.
+
+The paper's contribution is a *family* of Fixed Service design points
+(Table 2); this package encodes each one as a frozen, picklable
+:class:`SchemeSpec`, keeps them in a process-global
+:class:`SchemeRegistry`, and interprets them through a small table of
+per-family builders — the runner, CLI, config validation, and the
+multiprocess sweep executor all consume the same declarative surface.
+
+Add a scheme in under 20 lines (see ``docs/INTERNALS.md`` §10)::
+
+    from repro.schemes import REGISTRY, SchemeSpec
+
+    REGISTRY.register(SchemeSpec(
+        name="fs_bp_mine", family="fs", partitioning="bank",
+        sharing="bank",
+        controller="mypkg.MyFsController",
+        fast_controller="repro.sim.fastpath.FastFixedServiceController",
+        fixed_service=True,
+    ))
+"""
+
+from .spec import PARTITIONINGS, SHARINGS, SchemeSpec, resolve, \
+    spec_fields
+from .registry import REGISTRY, SchemeRegistry, register_scheme
+from .builders import (
+    BUILDERS,
+    build_from_spec,
+    build_partition,
+    builder_for,
+    register_builder,
+)
+from .builtin import BUILTIN_SPECS
+
+__all__ = [
+    "BUILDERS",
+    "BUILTIN_SPECS",
+    "PARTITIONINGS",
+    "REGISTRY",
+    "SHARINGS",
+    "SchemeRegistry",
+    "SchemeSpec",
+    "build_from_spec",
+    "build_partition",
+    "builder_for",
+    "register_builder",
+    "register_scheme",
+    "resolve",
+    "spec_fields",
+]

@@ -1,0 +1,172 @@
+"""The scheme registry: name -> :class:`~repro.schemes.spec.SchemeSpec`.
+
+One process-global :data:`REGISTRY` holds every known scheme.  The
+built-in family (:mod:`repro.schemes.builtin`) populates it at import
+time in the paper's presentation order; user code extends it either
+directly::
+
+    from repro.schemes import REGISTRY, SchemeSpec
+
+    REGISTRY.register(SchemeSpec(
+        name="fs_rp_tuned", family="fs", partitioning="rank",
+        sharing="rank",
+        controller="mypkg.controllers.TunedFsController",
+        fixed_service=True,
+    ))
+
+or with the decorator, which fills the controller path in from the
+decorated class::
+
+    from repro.schemes import register_scheme
+
+    @register_scheme("fs_rp_tuned", family="fs", partitioning="rank",
+                     sharing="rank", fixed_service=True)
+    class TunedFsController(FixedServiceController):
+        ...
+
+Either way the new name immediately works everywhere a built-in does:
+``run_scheme``, ``repro run/stats/sweep``, ``Sweep`` grids (including
+multiprocess grids — specs are picklable and shipped to workers), and
+``SystemConfig.validate_for_scheme``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from ..errors import SchemeError
+from .spec import SchemeSpec
+
+
+class SchemeRegistry:
+    """An insertion-ordered mapping of scheme names to specs."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, SchemeSpec] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self, spec: SchemeSpec, replace: bool = False
+    ) -> SchemeSpec:
+        """Add a spec; re-registering the *same* spec is idempotent.
+
+        A different spec under an existing name raises
+        :class:`~repro.errors.SchemeError` unless ``replace=True`` —
+        silent shadowing of a built-in is exactly the config drift the
+        registry exists to prevent.
+        """
+        existing = self._specs.get(spec.name)
+        if existing is not None and not replace:
+            if existing == spec:
+                return existing
+            raise SchemeError(
+                f"scheme {spec.name!r} is already registered with a "
+                f"different spec (pass replace=True to override)"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def ensure(self, spec: SchemeSpec) -> SchemeSpec:
+        """Idempotent transport-side registration (worker processes).
+
+        Used when a pickled spec arrives in a spawn-started sweep
+        worker: register it if missing, accept it if identical, and
+        *replace* on conflict — the parent process's grid definition is
+        authoritative for the cell being executed.
+        """
+        existing = self._specs.get(spec.name)
+        if existing == spec:
+            return existing
+        return self.register(spec, replace=True)
+
+    def unregister(self, name: str) -> None:
+        """Remove a scheme (tests and interactive experimentation)."""
+        if name not in self._specs:
+            raise SchemeError(
+                f"cannot unregister unknown scheme {name!r}",
+                known=self.names(),
+            )
+        del self._specs[name]
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, name: str) -> SchemeSpec:
+        """The spec for ``name``; unknown names raise SchemeError with
+        the full list of registered names (the CLI prints it as-is)."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise SchemeError(
+                f"unknown scheme {name!r}", known=self.names()
+            ) from None
+
+    def find(self, name: str) -> Optional[SchemeSpec]:
+        """The spec for ``name`` or ``None`` (lenient lookup)."""
+        return self._specs.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names in registration order."""
+        return tuple(self._specs)
+
+    def specs(self) -> Tuple[SchemeSpec, ...]:
+        """Registered specs in registration order."""
+        return tuple(self._specs.values())
+
+    def names_where(self, **field_values) -> Tuple[str, ...]:
+        """Names whose specs match every given field value, in order.
+
+        The declarative replacement for the hand-maintained name tuples
+        the codebase used to duplicate::
+
+            REGISTRY.names_where(partitioning="rank")
+            REGISTRY.names_where(fixed_service=True)
+        """
+        out = []
+        for spec in self._specs.values():
+            if all(
+                getattr(spec, key) == value
+                for key, value in field_values.items()
+            ):
+                out.append(spec.name)
+        return tuple(out)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SchemeRegistry({', '.join(self._specs)})"
+
+
+#: The process-global registry every runner/CLI/sweep lookup goes
+#: through.  Populated by :mod:`repro.schemes.builtin` on import.
+REGISTRY = SchemeRegistry()
+
+
+def register_scheme(
+    name: str, registry: Optional[SchemeRegistry] = None, **fields
+) -> Callable[[type], type]:
+    """Class decorator: declare-and-register a scheme in one block.
+
+    The decorated class becomes the spec's reference controller (its
+    dotted import path is derived automatically, keeping the spec
+    picklable); every other :class:`SchemeSpec` field is passed through
+    ``**fields``.  Returns the class unchanged.
+    """
+    target = registry if registry is not None else REGISTRY
+
+    def decorate(cls: type) -> type:
+        path = f"{cls.__module__}.{cls.__qualname__}"
+        target.register(SchemeSpec(name=name, controller=path, **fields))
+        return cls
+
+    return decorate
+
+
+__all__ = ["REGISTRY", "SchemeRegistry", "register_scheme"]

@@ -4,6 +4,7 @@ from .config import SystemConfig, TABLE1_CONFIG, full_target_config
 from .multichannel import MultiChannelFsController
 from .system import CoreResult, RunResult, System
 from .runner import (
+    ENGINES,
     SCHEMES,
     SchemeOptions,
     build_controller,
@@ -17,7 +18,7 @@ __all__ = [
     "SystemConfig", "TABLE1_CONFIG", "full_target_config",
     "MultiChannelFsController",
     "CoreResult", "RunResult", "System",
-    "SCHEMES", "SchemeOptions", "build_controller", "build_system",
-    "partition_for", "run_scheme",
+    "ENGINES", "SCHEMES", "SchemeOptions", "build_controller",
+    "build_system", "partition_for", "run_scheme",
     "FailedPoint", "Sweep", "SweepPoint",
 ]

@@ -15,10 +15,53 @@ def _is_power_of_two(value: int) -> bool:
     return value >= 1 and (value & (value - 1)) == 0
 
 
-#: Schemes that hand each domain whole ranks.
-RANK_PARTITIONED_SCHEMES = ("fs_rp", "fs_rp_mc")
-#: Schemes that hand each domain a disjoint bank set.
-BANK_PARTITIONED_SCHEMES = ("fs_bp", "fs_reordered_bp", "tp_bp")
+class _PartitionedSchemesView:
+    """Live tuple-like view of registered schemes at one partition level.
+
+    Replaces the hand-maintained name tuples this module used to
+    duplicate (and that every new scheme had to be added to by hand):
+    membership is now *derived* from each
+    :class:`~repro.schemes.SchemeSpec`'s ``partitioning`` field, so a
+    user-registered scheme is classified — and geometry-validated —
+    automatically.
+    """
+
+    def __init__(self, level: str) -> None:
+        self._level = level
+
+    def _names(self):
+        from ..schemes import REGISTRY
+
+        return REGISTRY.names_where(partitioning=self._level)
+
+    def __iter__(self):
+        return iter(self._names())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names()
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __getitem__(self, index):
+        return self._names()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (tuple, list)):
+            return tuple(self._names()) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self._names())
+
+    def __repr__(self) -> str:
+        return repr(self._names())
+
+
+#: Schemes that hand each domain whole ranks (registry-derived).
+RANK_PARTITIONED_SCHEMES = _PartitionedSchemesView("rank")
+#: Schemes that hand each domain a disjoint bank set (registry-derived).
+BANK_PARTITIONED_SCHEMES = _PartitionedSchemesView("bank")
 
 
 @dataclass(frozen=True)
@@ -55,10 +98,20 @@ class SystemConfig:
         with a bank count the per-row interleave cannot split evenly)
         would silently alias domains onto shared resources — the exact
         leak the scheme claims to close.  Fail loudly instead.
+
+        The partition level comes from the scheme's registered
+        :class:`~repro.schemes.SchemeSpec`; names not (yet) in the
+        registry validate leniently, preserving the historical
+        behaviour for ad-hoc strings.
         """
+        from ..schemes import REGISTRY
+
+        spec = REGISTRY.find(scheme)
+        if spec is None:
+            return
         g = self.geometry
         n = self.num_cores
-        if scheme in RANK_PARTITIONED_SCHEMES:
+        if spec.partitioning == "rank":
             total_ranks = g.channels * g.ranks
             if total_ranks < n:
                 raise ConfigError(
@@ -67,7 +120,7 @@ class SystemConfig:
                     f"({g.channels} channel(s) x {g.ranks} rank(s)); "
                     f"need at least one rank per domain"
                 )
-        if scheme in BANK_PARTITIONED_SCHEMES:
+        if spec.partitioning == "bank":
             total_banks = g.channels * g.ranks * g.banks
             if total_banks < n:
                 raise ConfigError(

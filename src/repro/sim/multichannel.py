@@ -23,6 +23,7 @@ from ..core.pipeline_solver import SharingLevel
 from ..core.schedule import build_fs_schedule
 from ..dram.commands import Request
 from ..dram.system import DramSystem
+from ..errors import ConfigError
 from ..mapping.partition import PartitionPolicy, RankPartition
 
 
@@ -77,7 +78,7 @@ class MultiChannelFsController(MemoryController):
         for d in range(num_domains):
             channels = {ch for ch, _, _ in partition.resources(d)}
             if len(channels) != 1:
-                raise ValueError(
+                raise ConfigError(
                     f"domain {d} spans channels {sorted(channels)}; "
                     "multi-channel FS needs channel-local domains"
                 )

@@ -1,15 +1,24 @@
 """High-level experiment runner: build and run named scheme comparisons.
 
-The scheme names match the paper's figures:
+Scheme names are looked up in the declarative registry
+(:mod:`repro.schemes`); the builders interpret each
+:class:`~repro.schemes.SchemeSpec` into a controller + partition, so
+this module contains **no per-scheme control flow** — registering a new
+spec makes it immediately runnable here, in the CLI, and in (parallel)
+sweeps.
+
+The built-in names match the paper's figures:
 
 =================  ====================================================
 name               design point
 =================  ====================================================
 ``baseline``       non-secure FR-FCFS with write drain (open page)
 ``fcfs``           strict FCFS, closed page (reference only)
+``channel_part``   private channel per domain (Section 4.1)
 ``tp_bp``          Temporal Partitioning, bank-partitioned
 ``tp_np``          Temporal Partitioning, no spatial partitioning
 ``fs_rp``          Fixed Service, rank partitioning (periodic data, l=7)
+``fs_rp_mc``       Fixed Service, one controller per channel
 ``fs_bp``          Fixed Service, bank partitioning (periodic RAS, l=15)
 ``fs_reordered_bp``Fixed Service, reordered bank partitioning (Q=63)
 ``fs_np``          Fixed Service, no partitioning (l=43)
@@ -20,39 +29,59 @@ name               design point
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..controllers.base import MemoryController
-from ..controllers.fcfs import FcfsController
-from ..controllers.frfcfs import FrFcfsController
-from ..controllers.tp import TemporalPartitioningController, \
-    default_dead_time, default_turn_length, min_turn_length
 from ..core.energy_opts import FsEnergyOptions
-from ..core.fs_controller import FixedServiceController
-from ..core.fs_reordered import ReorderedBpController
-from ..core.pipeline_solver import SharingLevel
-from ..core.schedule import build_fs_schedule, \
-    build_triple_alternation_schedule
 from ..core.online_monitor import OnlineInvariantMonitor
 from ..cpu.core_model import Core
-from ..dram.system import DramSystem
+from ..errors import ConfigError
 from ..faults import FaultInjector, FaultPlan
-from ..mapping.partition import (
-    BankPartition,
-    NoPartition,
-    PartitionPolicy,
-    RankPartition,
-)
-from ..prefetch.sandbox import SandboxPrefetcher
+from ..mapping.partition import PartitionPolicy
+from ..schemes import REGISTRY, build_from_spec, build_partition
 from ..workloads.synthetic import WorkloadSpec, generate_trace
 from .config import SystemConfig
 from .system import RunResult, System
 
-SCHEMES = (
-    "baseline", "fcfs", "channel_part", "tp_bp", "tp_np",
-    "fs_rp", "fs_rp_mc", "fs_bp", "fs_reordered_bp", "fs_np",
-    "fs_np_ta",
-)
+
+class _SchemeNamesView(Sequence):
+    """A live, ordered, tuple-like view of the registry's names.
+
+    Backward-compatible stand-in for the old hardcoded ``SCHEMES``
+    tuple: iteration, ``in``, ``len``, indexing, and ``join`` all work,
+    and schemes registered at runtime appear automatically (including
+    in ``argparse`` choices built from this object).
+    """
+
+    def _names(self):
+        return REGISTRY.names()
+
+    def __iter__(self):
+        return iter(self._names())
+
+    def __contains__(self, name: object) -> bool:
+        return name in REGISTRY
+
+    def __len__(self) -> int:
+        return len(REGISTRY)
+
+    def __getitem__(self, index):
+        return self._names()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (tuple, list)):
+            return tuple(self._names()) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self):  # views are interchangeable with their tuple
+        return hash(self._names())
+
+    def __repr__(self) -> str:
+        return repr(self._names())
+
+
+#: Registered scheme names (live view over :data:`repro.schemes.REGISTRY`).
+SCHEMES = _SchemeNamesView()
 
 #: Simulation engines: the cycle-stepping reference and the
 #: cycle-skipping fast path (:mod:`repro.sim.fastpath`), which is
@@ -62,14 +91,18 @@ ENGINES = ("reference", "fast")
 
 def _check_engine(engine: str) -> None:
     if engine not in ENGINES:
-        raise ValueError(
+        raise ConfigError(
             f"unknown engine {engine!r}; known: {ENGINES}"
         )
 
 
 @dataclass
 class SchemeOptions:
-    """Per-scheme knobs used by the sensitivity benchmarks."""
+    """Per-scheme knobs used by the sensitivity benchmarks.
+
+    Everything except :attr:`telemetry` is picklable, so an options
+    block can ride along with a spec into a multiprocess sweep worker.
+    """
 
     turn_length: Optional[int] = None          # TP
     energy: FsEnergyOptions = field(default_factory=FsEnergyOptions)
@@ -106,32 +139,10 @@ class SchemeOptions:
     #: streams every service event, DRAM command, fault, and violation
     #: into it, and :func:`run_scheme` harvests the finished run's stats
     #: into the same registry.  ``None`` (the default) keeps every hot
-    #: path on the single ``is None`` fast check.
+    #: path on the single ``is None`` fast check.  Sessions are the one
+    #: non-picklable knob: multiprocess sweeps manage per-worker
+    #: sessions themselves.
     telemetry: object = None
-
-
-def _channel_part_geometry(config: SystemConfig):
-    """One private channel per domain (Section 4.1, <= 4 threads).
-
-    The configured geometry is widened to ``num_cores`` channels while
-    keeping per-channel resources, so each domain owns a whole channel.
-    """
-    from ..mapping.address import Geometry
-
-    g = config.geometry
-    return Geometry(
-        channels=max(g.channels, config.num_cores),
-        ranks=g.ranks, banks=g.banks, rows=g.rows, columns=g.columns,
-    )
-
-
-def _refresh_for(config: SystemConfig, options: "SchemeOptions"):
-    """A refresh timetable when the options ask for one."""
-    if not options.refresh:
-        return None
-    from ..dram.refresh import RefreshScheduler
-
-    return RefreshScheduler(config.timing, config.geometry.ranks)
 
 
 def partition_for(
@@ -139,23 +150,8 @@ def partition_for(
     config: SystemConfig,
     options: Optional["SchemeOptions"] = None,
 ) -> PartitionPolicy:
-    """The partition level each scheme assumes."""
-    if scheme == "channel_part":
-        from ..mapping.partition import ChannelPartition
-
-        return ChannelPartition(
-            _channel_part_geometry(config), config.num_cores
-        )
-    if scheme in ("fs_rp", "fs_rp_mc"):
-        return RankPartition(config.geometry, config.num_cores)
-    if scheme in ("fs_bp", "fs_reordered_bp", "tp_bp"):
-        return BankPartition(config.geometry, config.num_cores)
-    mapper = None
-    if options is not None and options.address_order is not None:
-        from ..mapping.address import AddressMapper
-
-        mapper = AddressMapper(config.geometry, options.address_order)
-    return NoPartition(config.geometry, config.num_cores, mapper=mapper)
+    """The partition level the named scheme's spec declares."""
+    return build_partition(REGISTRY.get(scheme), config, options)
 
 
 def _attach_runtime_verification(
@@ -184,138 +180,24 @@ def build_controller(
 ) -> MemoryController:
     """Instantiate the memory controller for a scheme name.
 
-    ``engine="fast"`` selects the cycle-skipping controller variants
-    from :mod:`repro.sim.fastpath` (bit-identical observables, see
+    A thin interpreter: the registry supplies the spec, the spec's
+    family supplies the construction recipe, and the spec's controller
+    path supplies the class.  ``engine="fast"`` resolves the spec's
+    cycle-skipping controller variant (bit-identical observables, see
     ``tests/test_differential.py``); the default stays the reference.
+    Unknown scheme names raise :class:`~repro.errors.SchemeError` with
+    the registered-name list.
     """
     _check_engine(engine)
-    fast = engine == "fast"
-    if fast:
-        from . import fastpath
-
+    spec = REGISTRY.get(scheme)
     config.validate_for_scheme(scheme)
     if fault_injector is None and options.faults is not None and (
         not options.faults.empty
     ):
         fault_injector = options.faults.injector()
-    dram = DramSystem(
-        config.timing,
-        num_channels=config.geometry.channels,
-        ranks_per_channel=config.geometry.ranks,
-        banks_per_rank=config.geometry.banks,
+    return build_from_spec(
+        spec, config, partition, options, fault_injector, engine
     )
-    n = config.num_cores
-    if scheme == "channel_part":
-        # Private channels: a normal high-performance scheduler is
-        # secure because nothing is shared (Section 4.1).
-        geometry = _channel_part_geometry(config)
-        dram = DramSystem(
-            config.timing,
-            num_channels=geometry.channels,
-            ranks_per_channel=geometry.ranks,
-            banks_per_rank=geometry.banks,
-        )
-        cls = fastpath.FastFrFcfsController if fast else FrFcfsController
-        return cls(dram, n, log_commands=options.log_commands)
-    if scheme == "baseline":
-        cls = fastpath.FastFrFcfsController if fast else FrFcfsController
-        return cls(
-            dram, n,
-            refresh=_refresh_for(config, options),
-            log_commands=options.log_commands,
-        )
-    if scheme == "fcfs":
-        # No fast controller: FCFS gains from the fast *driver* alone.
-        return FcfsController(dram, n, log_commands=options.log_commands)
-    if scheme in ("tp_bp", "tp_np"):
-        bank_partitioned = scheme == "tp_bp"
-        turn = options.turn_length or default_turn_length(
-            bank_partitioned
-        )
-        cls = (
-            fastpath.FastTpController if fast
-            else TemporalPartitioningController
-        )
-        return cls(
-            dram, n, turn_length=turn,
-            bank_partitioned=bank_partitioned,
-            log_commands=options.log_commands,
-        )
-    if scheme == "fs_rp_mc":
-        from .multichannel import MultiChannelFsController
-
-        cls = (
-            fastpath.FastMultiChannelFsController if fast
-            else MultiChannelFsController
-        )
-        return cls(
-            dram, partition, n, log_commands=options.log_commands
-        )
-    if scheme in ("fs_rp", "fs_bp", "fs_np"):
-        sharing = {
-            "fs_rp": SharingLevel.RANK,
-            "fs_bp": SharingLevel.BANK,
-            "fs_np": SharingLevel.NONE,
-        }[scheme]
-        if fast:
-            schedule = fastpath.cached_fs_schedule(
-                config.timing, n, sharing,
-                slots_per_domain=options.slots_per_domain,
-            )
-        else:
-            schedule = build_fs_schedule(
-                config.timing, n, sharing,
-                slots_per_domain=options.slots_per_domain,
-            )
-        prefetchers = None
-        if options.prefetch:
-            prefetchers = {
-                d: SandboxPrefetcher(seed=d) for d in range(n)
-            }
-        refresh = None
-        if scheme == "fs_rp":
-            refresh = _refresh_for(config, options)
-        cls = (
-            fastpath.FastFixedServiceController if fast
-            else FixedServiceController
-        )
-        return cls(
-            dram, schedule, partition,
-            energy_options=options.energy,
-            prefetchers=prefetchers,
-            refresh=refresh,
-            log_commands=options.log_commands,
-            fault_injector=fault_injector,
-        )
-    if scheme == "fs_np_ta":
-        if fast:
-            schedule = fastpath.cached_triple_alternation_schedule(
-                config.timing, n
-            )
-        else:
-            schedule = build_triple_alternation_schedule(config.timing, n)
-        cls = (
-            fastpath.FastFixedServiceController if fast
-            else FixedServiceController
-        )
-        return cls(
-            dram, schedule, partition,
-            energy_options=options.energy,
-            log_commands=options.log_commands,
-            fault_injector=fault_injector,
-        )
-    if scheme == "fs_reordered_bp":
-        cls = (
-            fastpath.FastReorderedBpController if fast
-            else ReorderedBpController
-        )
-        return cls(
-            dram, partition, n,
-            energy_options=options.energy,
-            log_commands=options.log_commands,
-            fault_injector=fault_injector,
-        )
-    raise ValueError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
 
 
 def build_system(
@@ -327,8 +209,9 @@ def build_system(
 ) -> System:
     """Assemble controller + partition + cores for one run."""
     _check_engine(engine)
+    scheme_spec = REGISTRY.get(scheme)
     if len(specs) != config.num_cores:
-        raise ValueError("one workload spec per core required")
+        raise ConfigError("one workload spec per core required")
     config.validate_for_scheme(scheme)
     options = options or SchemeOptions()
     fault_injector = None
@@ -336,9 +219,9 @@ def build_system(
         # One fresh injector per run: the plan is immutable, the
         # injector's progress counters are not.
         fault_injector = options.faults.injector()
-    partition = partition_for(scheme, config, options)
-    controller = build_controller(
-        scheme, config, partition, options, fault_injector, engine=engine
+    partition = build_partition(scheme_spec, config, options)
+    controller = build_from_spec(
+        scheme_spec, config, partition, options, fault_injector, engine
     )
     _attach_runtime_verification(controller, config, options)
     if options.telemetry is not None:

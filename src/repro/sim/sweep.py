@@ -16,6 +16,30 @@ Sweeps are *resilient* by design (production grids run for hours):
   persisted to JSON atomically, and a killed sweep resumes from the last
   completed cell — re-running the same grid reproduces the exact same
   :class:`SweepPoint` table without re-simulating finished cells.
+
+Sweeps are also *parallel*: because scheme identity is declarative
+(:mod:`repro.schemes` — picklable :class:`~repro.schemes.SchemeSpec`
+records resolved against dotted controller paths) and
+:class:`~repro.sim.runner.SchemeOptions` is picklable, ``workers=N``
+fans :meth:`Sweep.run_grid` out over spawn-started worker processes:
+
+* **determinism** — per-cell seeds derive from the cell's own identity
+  (``config.seed`` + domain), never from shared RNG state or execution
+  order, and results are merged back in *submission* order, so a
+  ``workers=4`` grid writes a byte-identical checkpoint and identical
+  aggregate metrics to a serial run;
+* **fault isolation** — a worker exception (or a hard worker crash
+  breaking the pool) is recorded per cell in :attr:`failed_points`;
+  completed cells keep checkpointing incrementally, so a crashed grid
+  resumes exactly like a killed serial one;
+* **telemetry** — with ``collect_telemetry=True`` every cell runs under
+  its own :class:`~repro.telemetry.session.TelemetrySession`; the
+  per-worker registries are merged deterministically (submission order)
+  into the grid artifact via
+  :meth:`~repro.telemetry.registry.MetricsRegistry.merge`;
+* **custom schemes** — the parent's spec rides along in the worker
+  payload and is re-registered on arrival, so user-registered schemes
+  sweep in parallel exactly like built-ins.
 """
 
 from __future__ import annotations
@@ -23,12 +47,15 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import pickle
+import sys
 import tempfile
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
-    Tuple
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import ReproError
+from ..errors import ConfigError, ReproError, SchemeError
+from ..schemes import REGISTRY
 from ..workloads.spec import suite_specs
 from .config import SystemConfig
 from .runner import SchemeOptions, run_scheme
@@ -74,6 +101,103 @@ def _point_key(scheme: str, workload: str, cores: int,
     return (scheme, workload, cores, label)
 
 
+def _weighted_ipc(ipcs: Sequence[float],
+                  baseline_ipcs: Sequence[float]) -> float:
+    """Sum of per-core IPCs normalized to a baseline.
+
+    Bit-for-bit the same arithmetic as
+    :meth:`~repro.sim.system.RunResult.weighted_ipc`, applied to bare
+    IPC lists so worker processes only ship floats back, not whole
+    :class:`RunResult` objects.
+    """
+    total = 0.0
+    for mine, theirs in zip(ipcs, baseline_ipcs):
+        if theirs > 0:
+            total += mine / theirs
+    return total
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points (module level: spawn-picklable).
+# ----------------------------------------------------------------------
+
+def _worker_init(parent_sys_path: List[str]) -> None:
+    """Mirror the parent's import paths in a spawn-started worker.
+
+    ``spawn`` re-executes the interpreter, so ``sys.path`` edits the
+    parent made (pytest rootdir insertion, scripts prepending ``src``)
+    would otherwise be lost and the repro package — or a test-local
+    controller module a custom spec points at — would not import.
+    """
+    for entry in reversed(parent_sys_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _sweep_worker(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one grid cell in a worker process.
+
+    The payload carries everything the cell needs — the (picklable)
+    scheme spec, platform config, options, and budgets — and the return
+    value carries only plain data (IPC floats, headline metrics, and
+    optionally the cell's telemetry registry), keeping the IPC channel
+    small and the merge in the parent deterministic.
+    """
+    from ..schemes import REGISTRY as worker_registry
+
+    spec = payload.get("spec")
+    if spec is not None:
+        # The parent's grid definition is authoritative for this cell:
+        # register (or refresh) the spec so user-defined schemes run in
+        # workers exactly like built-ins.
+        worker_registry.ensure(spec)
+    options = payload.get("options")
+    session = None
+    if payload.get("telemetry"):
+        from ..telemetry.session import TelemetrySession
+
+        session = TelemetrySession()
+        options = dataclasses.replace(
+            options if options is not None else SchemeOptions(),
+            telemetry=session,
+        )
+    try:
+        result = run_scheme(
+            payload["scheme"], payload["config"],
+            suite_specs(payload["workload"], payload["cores"]),
+            options,
+            max_cycles=payload["max_cycles"],
+            wall_budget_s=payload["wall_budget_s"],
+            engine=payload["engine"],
+        )
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+        raise
+    except Exception as exc:
+        out = {
+            "ok": False,
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+        }
+        try:  # ship the original exception when it pickles (strict mode)
+            pickle.dumps(exc)
+            out["exception"] = exc
+        except Exception:  # pragma: no cover - exotic exceptions
+            pass
+        return out
+    out = {
+        "ok": True,
+        "ipcs": [c.ipc for c in result.cores],
+        "bus_utilization": result.bus_utilization,
+        "mean_read_latency": result.stats.mean_read_latency,
+        "energy_pj": result.energy.total_pj,
+        "cycles": result.cycles,
+        "faults": result.faults,
+    }
+    if session is not None:
+        out["registry"] = session.registry
+    return out
+
+
 class Sweep:
     """Run and tabulate a grid of simulations against a baseline."""
 
@@ -86,7 +210,13 @@ class Sweep:
         point_wall_budget_s: Optional[float] = None,
         strict: bool = False,
         engine: str = "fast",
+        workers: int = 1,
+        collect_telemetry: bool = False,
     ) -> None:
+        if workers < 1:
+            raise ConfigError(
+                f"workers must be >= 1, got {workers}"
+            )
         self.config = config
         self.baseline_scheme = baseline_scheme
         self.max_cycles = max_cycles
@@ -100,10 +230,28 @@ class Sweep:
         #: When True, a failing cell re-raises instead of being recorded
         #: (the pre-resilience behaviour; also what a CI gate wants).
         self.strict = strict
+        #: Worker processes for :meth:`run_grid`; 1 keeps everything
+        #: in-process (bit-identical results either way).
+        self.workers = workers
+        #: Collect a per-cell telemetry registry and merge them (in
+        #: deterministic submission order) into :attr:`cell_registry`.
+        self.collect_telemetry = collect_telemetry
+        self.cell_registry = None
+        if collect_telemetry:
+            from ..telemetry.registry import MetricsRegistry
+
+            self.cell_registry = MetricsRegistry()
+        #: Wall-clock seconds of the most recent :meth:`run_grid` call
+        #: (exported as a *volatile* gauge: never part of determinism
+        #: snapshots or checkpoints).
+        self.last_grid_wall_s: Optional[float] = None
         #: Baselines keyed *defensively*: the key includes the full
         #: (frozen, hashable) config, so mutating ``self.config`` between
         #: points can never alias a stale baseline onto a new grid.
         self._baselines: Dict[Tuple, RunResult] = {}
+        #: Parallel-mode baseline cache: bare IPC lists (or a failure
+        #: outcome) keyed like :attr:`_baselines`.
+        self._baseline_outcomes: Dict[Tuple, Dict[str, object]] = {}
         self.points: List[SweepPoint] = []
         self.failed_points: List[FailedPoint] = []
         self._completed: Dict[Tuple[str, str, int, str], SweepPoint] = {}
@@ -184,7 +332,7 @@ class Sweep:
         label: str = "",
         options: Optional[SchemeOptions] = None,
     ) -> Optional[SweepPoint]:
-        """Run one cell and record it.
+        """Run one cell in-process and record it.
 
         Returns the completed :class:`SweepPoint`, a checkpointed one
         when this cell already finished in a previous (interrupted) run,
@@ -197,11 +345,21 @@ class Sweep:
         done = self._completed.get(key)
         if done is not None:
             return done
+        session = None
+        run_options = options
+        if self.collect_telemetry:
+            from ..telemetry.session import TelemetrySession
+
+            session = TelemetrySession()
+            run_options = dataclasses.replace(
+                options if options is not None else SchemeOptions(),
+                telemetry=session,
+            )
         try:
             result = run_scheme(
                 scheme, self._config_for(cores),
                 suite_specs(workload, cores),
-                options, max_cycles=self.max_cycles,
+                run_options, max_cycles=self.max_cycles,
                 wall_budget_s=self.point_wall_budget_s,
                 engine=self.engine,
             )
@@ -232,8 +390,256 @@ class Sweep:
         )
         self.points.append(point)
         self._completed[key] = point
+        if session is not None and self.cell_registry is not None:
+            self.cell_registry.merge(session.registry)
         self._save_checkpoint()
         return point
+
+    # ------------------------------------------------------------------
+    # Grid execution (serial or multiprocess).
+    # ------------------------------------------------------------------
+
+    def run_grid(
+        self,
+        schemes: Sequence[str],
+        workloads: Sequence[str],
+        cores: Optional[int] = None,
+        options: Optional[SchemeOptions] = None,
+    ) -> List[SweepPoint]:
+        """Run the (scheme x workload) grid, honouring :attr:`workers`.
+
+        ``workers=1`` executes in-process through :meth:`run_point`;
+        ``workers>1`` fans cells out across spawn-started processes and
+        merges results back in submission order, so both modes produce
+        byte-identical checkpoints and identical aggregate metrics.
+        The wall-clock of the whole call lands in
+        :attr:`last_grid_wall_s` (and, as a volatile gauge, in the
+        metrics artifact).
+        """
+        start = time.monotonic()
+        try:
+            if self.workers <= 1:
+                for scheme in schemes:
+                    for workload in workloads:
+                        self.run_point(
+                            scheme, workload, cores=cores,
+                            options=options,
+                        )
+            else:
+                self._run_grid_parallel(
+                    list(schemes), list(workloads), cores, options
+                )
+        finally:
+            self.last_grid_wall_s = time.monotonic() - start
+        return list(self.points)
+
+    def _payload(
+        self,
+        spec,
+        scheme: str,
+        workload: str,
+        cores: int,
+        options: Optional[SchemeOptions],
+        telemetry: bool,
+    ) -> Dict[str, object]:
+        return {
+            "spec": spec,
+            "scheme": scheme,
+            "workload": workload,
+            "cores": cores,
+            "config": self._config_for(cores),
+            "options": options,
+            "max_cycles": self.max_cycles,
+            "wall_budget_s": self.point_wall_budget_s,
+            "engine": self.engine,
+            "telemetry": telemetry,
+        }
+
+    def _record_failure(
+        self, scheme: str, workload: str, cores: int, label: str,
+        outcome: Dict[str, object],
+    ) -> None:
+        if self.strict:
+            exc = outcome.get("exception")
+            if isinstance(exc, BaseException):
+                raise exc
+            raise ReproError(
+                f"{outcome['error_type']}: {outcome['error']} "
+                f"(cell {scheme} x {workload} x {cores})"
+            )
+        self.failed_points.append(FailedPoint(
+            scheme=scheme, workload=workload, cores=cores, label=label,
+            error_type=str(outcome["error_type"]),
+            error=str(outcome["error"]),
+        ))
+        self._save_checkpoint()
+
+    def _run_grid_parallel(
+        self,
+        schemes: List[str],
+        workloads: List[str],
+        cores: Optional[int],
+        options: Optional[SchemeOptions],
+    ) -> None:
+        import concurrent.futures as cf
+        import multiprocessing
+
+        if options is not None and options.telemetry is not None:
+            raise ConfigError(
+                "SchemeOptions.telemetry cannot cross process "
+                "boundaries; use Sweep(collect_telemetry=True) to merge "
+                "per-worker registries instead"
+            )
+        n = cores or self.config.num_cores
+        cells = []
+        for scheme in schemes:
+            for workload in workloads:
+                cells.append(
+                    (scheme, workload, n, scheme,
+                     _point_key(scheme, workload, n, scheme))
+                )
+        #: key -> outcome resolved without a worker (unknown scheme).
+        resolved: Dict[Tuple, Dict[str, object]] = {}
+        futures: Dict[Tuple, object] = {}
+        base_futures: Dict[Tuple, object] = {}
+        base_spec = REGISTRY.find(self.baseline_scheme)
+        broken: Optional[BaseException] = None
+        ctx = multiprocessing.get_context("spawn")
+        pool = cf.ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=ctx,
+            initializer=_worker_init, initargs=(list(sys.path),),
+        )
+        try:
+            # -- submission (deterministic order) -----------------------
+            for scheme, workload, c, label, key in cells:
+                if key in self._completed:
+                    continue
+                try:
+                    spec = REGISTRY.get(scheme)
+                except SchemeError as exc:
+                    resolved[key] = {
+                        "ok": False,
+                        "error_type": type(exc).__name__,
+                        "error": str(exc),
+                        "exception": exc,
+                    }
+                    continue
+                try:
+                    bkey = (self.baseline_scheme, workload, c,
+                            self.config)
+                    if bkey not in self._baseline_outcomes and (
+                        bkey not in base_futures
+                    ):
+                        base_futures[bkey] = pool.submit(
+                            _sweep_worker,
+                            self._payload(
+                                base_spec, self.baseline_scheme,
+                                workload, c, options=None,
+                                telemetry=False,
+                            ),
+                        )
+                    futures[key] = pool.submit(
+                        _sweep_worker,
+                        self._payload(
+                            spec, scheme, workload, c, options=options,
+                            telemetry=self.collect_telemetry,
+                        ),
+                    )
+                except BaseException as exc:  # pool already broken
+                    broken = exc
+                    break
+            # -- merge (same deterministic order) -----------------------
+            for scheme, workload, c, label, key in cells:
+                if key in self._completed:
+                    continue
+                outcome = resolved.get(key)
+                if outcome is None:
+                    future = futures.get(key)
+                    if future is None:
+                        outcome = self._broken_outcome(broken)
+                    else:
+                        outcome = self._future_outcome(future)
+                if outcome["ok"]:
+                    bkey = (self.baseline_scheme, workload, c,
+                            self.config)
+                    base = self._baseline_outcome(base_futures, bkey)
+                    if not base["ok"]:
+                        outcome = base
+                if not outcome["ok"]:
+                    self._record_failure(
+                        scheme, workload, c, label, outcome
+                    )
+                    continue
+                point = SweepPoint(
+                    scheme=scheme,
+                    workload=workload,
+                    cores=c,
+                    label=label,
+                    weighted_ipc=_weighted_ipc(
+                        outcome["ipcs"], base["ipcs"]
+                    ),
+                    bus_utilization=outcome["bus_utilization"],
+                    mean_read_latency=outcome["mean_read_latency"],
+                    energy_pj=outcome["energy_pj"],
+                    cycles=outcome["cycles"],
+                    faults=outcome["faults"],
+                )
+                self.points.append(point)
+                self._completed[key] = point
+                registry = outcome.get("registry")
+                if registry is not None and (
+                    self.cell_registry is not None
+                ):
+                    self.cell_registry.merge(registry)
+                self._save_checkpoint()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _broken_outcome(exc: Optional[BaseException]):
+        reason = str(exc) if exc is not None else (
+            "worker pool broke before this cell was submitted"
+        )
+        return {
+            "ok": False,
+            "error_type": (
+                type(exc).__name__ if exc is not None
+                else "BrokenProcessPool"
+            ),
+            "error": reason,
+        }
+
+    def _future_outcome(self, future) -> Dict[str, object]:
+        """A worker future's outcome; pool breakage becomes a failure
+        outcome (isolated per cell) instead of aborting the grid."""
+        try:
+            return future.result()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            # BrokenProcessPool and friends: the worker died hard
+            # (os._exit, segfault, OOM-kill).  Every not-yet-merged
+            # cell inherits the failure; completed cells stay
+            # checkpointed, so the grid resumes cleanly.
+            return {
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "error": str(exc) or "worker process died",
+            }
+
+    def _baseline_outcome(self, base_futures, bkey):
+        cached = self._baseline_outcomes.get(bkey)
+        if cached is not None:
+            return cached
+        future = base_futures.get(bkey)
+        if future is None:
+            outcome = self._broken_outcome(None)
+        else:
+            outcome = self._future_outcome(future)
+        self._baseline_outcomes[bkey] = outcome
+        return outcome
+
+    # ------------------------------------------------------------------
 
     def turn_length_sweep(
         self,
@@ -295,7 +701,11 @@ class Sweep:
         across the whole grid, and failures are counted by exception
         type — so a dashboard can alert on
         ``sweep_failed_cells_total > 0`` or on any FS cell whose
-        ``sweep_weighted_ipc`` regresses.
+        ``sweep_weighted_ipc`` regresses.  With ``collect_telemetry``,
+        the merged per-cell registries fold in too, and the last
+        :meth:`run_grid` wall clock / worker count export as *volatile*
+        gauges (excluded from determinism snapshots by design — a
+        ``workers=4`` artifact stays comparable to a serial one).
         """
         from ..telemetry.registry import MetricsRegistry
 
@@ -344,6 +754,18 @@ class Sweep:
         )
         for f in self.failed_points:
             failures.inc(error_type=f.error_type)
+        if self.cell_registry is not None:
+            registry.merge(self.cell_registry)
+        wall = registry.gauge(
+            "sweep_wall_seconds",
+            "wall-clock of the last run_grid call", volatile=True,
+        )
+        if self.last_grid_wall_s is not None:
+            wall.set(round(self.last_grid_wall_s, 6))
+        registry.gauge(
+            "sweep_workers", "configured worker processes",
+            volatile=True,
+        ).set(self.workers)
         return registry
 
     def export_metrics(self, path: str) -> None:

@@ -321,6 +321,74 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
 
+    # -- merging --------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's samples into this one, in place.
+
+        The multiprocess sweep executor gives every worker cell its own
+        registry and merges them back in deterministic (cell submission)
+        order, so a ``workers=N`` grid exports the same aggregate
+        artifact as a serial run.  Merge semantics per metric kind:
+
+        * **counter** — sample values add (counts across cells sum);
+        * **gauge** — the incoming value wins (last-writer, which the
+          deterministic merge order makes reproducible);
+        * **histogram** — per-bucket counts, ``sum`` and ``count`` add.
+
+        A family present in both registries must agree on kind, label
+        names and (for histograms) bucket bounds; a mismatch is a
+        programming error surfaced as
+        :class:`~repro.errors.TelemetryError`.  Returns ``self`` so
+        merges chain.
+        """
+        for name in sorted(other._metrics):
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                kwargs = {}
+                if isinstance(theirs, Histogram):
+                    kwargs["buckets"] = theirs.bounds
+                mine = self._get_or_create(
+                    type(theirs), name, theirs.help_text,
+                    theirs.labelnames, theirs.volatile, **kwargs
+                )
+            elif type(mine) is not type(theirs) or (
+                mine.labelnames != theirs.labelnames
+            ):
+                raise TelemetryError(
+                    f"cannot merge metric {name!r}: kind or label set "
+                    f"differs between registries"
+                )
+            elif isinstance(mine, Histogram) and (
+                mine.bounds != theirs.bounds
+            ):
+                raise TelemetryError(
+                    f"cannot merge histogram {name!r}: bucket bounds "
+                    f"differ between registries"
+                )
+            for key, value in theirs.samples():
+                if isinstance(mine, Histogram):
+                    sample = mine._samples.get(key)
+                    if sample is None:
+                        sample = {
+                            "buckets": [0] * (len(mine.bounds) + 1),
+                            "sum": 0,
+                            "count": 0,
+                        }
+                        mine._samples[key] = sample
+                    for i, count in enumerate(value["buckets"]):
+                        sample["buckets"][i] += count
+                    sample["sum"] += value["sum"]
+                    sample["count"] += value["count"]
+                elif isinstance(mine, Counter):
+                    mine._samples[key] = (
+                        mine._samples.get(key, 0) + value
+                    )
+                else:  # gauge / untyped: incoming value wins
+                    mine._samples[key] = value
+        return self
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 

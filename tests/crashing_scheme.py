@@ -1,0 +1,26 @@
+"""A controller that hard-kills its process: sweep crash-isolation prop.
+
+The multiprocess sweep must survive a worker dying *without* raising —
+not an exception the worker can catch and report, but ``os._exit``,
+which models a segfault or an OOM-kill and breaks the whole
+``ProcessPoolExecutor``.  The kill is gated on an environment variable
+(inherited by spawn children) so the same registered scheme runs
+normally once the variable is cleared — which is exactly what the
+resume-from-checkpoint test does.
+"""
+
+import os
+
+from repro.controllers.fcfs import FcfsController
+
+#: Environment switch: "1" arms the crash (spawn workers inherit it).
+CRASH_ENV = "REPRO_TEST_CRASH"
+
+
+class CrashingFcfsController(FcfsController):
+    """Strict FCFS that dies hard at construction when armed."""
+
+    def __init__(self, *args, **kwargs):
+        if os.environ.get(CRASH_ENV) == "1":
+            os._exit(3)  # no exception, no cleanup: a hard worker death
+        super().__init__(*args, **kwargs)
