@@ -13,7 +13,12 @@ from .bandwidth import (
     measure_load_point,
     saturation_bandwidth,
 )
-from .covert import CovertChannelResult, run_covert_channel
+from .covert import (
+    CovertChannelResult,
+    run_covert_channel,
+    threshold_decode,
+    window_latency_means,
+)
 from .exhaustive import ExhaustiveReport, exhaustive_noninterference
 from .mutual_information import (
     LeakageEstimate,
@@ -35,6 +40,7 @@ __all__ = [
     "InterferenceReport", "VictimView", "figure4_profiles",
     "interference_report", "victim_view",
     "CovertChannelResult", "run_covert_channel",
+    "threshold_decode", "window_latency_means",
     "ExhaustiveReport", "exhaustive_noninterference",
     "LeakageEstimate", "estimate_channel_leakage",
     "mutual_information_bits",

@@ -123,8 +123,8 @@ def run_covert_channel(
         if clock > total_cycles * 50:
             break  # scheduler cannot keep up; stop measuring
 
-    window_means = _window_latency_means(released, window, len(bits))
-    decoded = _threshold_decode(window_means)
+    window_means = window_latency_means(released, window, len(bits))
+    decoded = threshold_decode(window_means)
     return CovertChannelResult(
         scheme=scheme,
         sent_bits=bits,
@@ -139,9 +139,20 @@ def _busy(controller) -> bool:
     return bool(controller.pending() or controller._release_heap)
 
 
-def _window_latency_means(
+def window_latency_means(
     released: Sequence[Request], window: int, num_windows: int
 ) -> List[float]:
+    """Mean receiver (domain-0) latency per bit window.
+
+    Requests outside the measured span fold into the last window;
+    windows the receiver never probed read as 0.0.
+    """
+    if window < 1:
+        raise ValueError(f"window must be positive, got {window}")
+    if num_windows < 1:
+        raise ValueError(
+            f"need at least one window, got {num_windows}"
+        )
     sums = [0.0] * num_windows
     counts = [0] * num_windows
     for request in released:
@@ -156,12 +167,24 @@ def _window_latency_means(
     ]
 
 
-def _threshold_decode(window_means: Sequence[float]) -> Tuple[int, ...]:
+def threshold_decode(window_means: Sequence[float]) -> Tuple[int, ...]:
     """Decode with the optimal single threshold: the midpoint between the
-    two latency clusters (sender-agnostic)."""
+    two latency clusters (sender-agnostic).
+
+    A flat signal (swing below 1e-9, the FS case) carries nothing and
+    decodes to all zeros; a window mean exactly *at* the threshold is
+    not ``>`` it and also decodes to 0.
+    """
+    if not window_means:
+        return ()
     lo, hi = min(window_means), max(window_means)
     threshold = (lo + hi) / 2.0
     if hi - lo < 1e-9:
         # Flat signal: the channel carries nothing; decode everything as 0.
         return tuple(0 for _ in window_means)
     return tuple(1 if m > threshold else 0 for m in window_means)
+
+
+#: Backwards-compatible aliases for the pre-promotion private names.
+_window_latency_means = window_latency_means
+_threshold_decode = threshold_decode

@@ -46,12 +46,18 @@ def victim_view(
     options: Optional[SchemeOptions] = None,
     max_cycles: int = 10_000_000,
     profile_block: Optional[int] = None,
+    engine: str = "reference",
 ) -> VictimView:
     """Run ``victim`` on domain 0 with ``co_runner`` on all other domains
-    and capture the victim-visible timing."""
+    and capture the victim-visible timing.
+
+    ``engine`` selects the simulator (reference cycle-stepper or the
+    differentially-verified fast path); the certification harness runs
+    both and demands identical verdicts.
+    """
     config = config or SystemConfig()
     specs = [victim] + [co_runner] * (config.num_cores - 1)
-    system = build_system(scheme, config, specs, options)
+    system = build_system(scheme, config, specs, options, engine=engine)
     releases: List[int] = []
     victim_core = system.cores[0]
     original = victim_core.on_complete
@@ -97,6 +103,7 @@ def interference_report(
     co_runners: Sequence[WorkloadSpec] = None,
     config: Optional[SystemConfig] = None,
     options: Optional[SchemeOptions] = None,
+    engine: str = "reference",
 ) -> InterferenceReport:
     """Run the victim against each co-runner and diff the views.
 
@@ -108,7 +115,7 @@ def interference_report(
     if len(co_runners) < 2:
         raise ValueError("need at least two co-runner variants")
     views = tuple(
-        victim_view(scheme, victim, co, config, options)
+        victim_view(scheme, victim, co, config, options, engine=engine)
         for co in co_runners
     )
     reference = views[0]

@@ -1,0 +1,648 @@
+"""The two-world certification protocol and its batch executor.
+
+One strategy is certified with a *paired experiment*: the attacker
+workload runs on domain 0 while every other domain runs the strategy's
+``secret0`` co-runner (world 0) and then its ``secret1`` co-runner
+(world 1).  Within a trial both worlds share every seed — the attacker's
+own trace is bit-identical across them — so the attacker's observation
+(its completion-time profile and per-read release cycles, exactly what
+:func:`repro.analysis.leakage.victim_view` extracts) may differ between
+worlds *only* through the scheduler.  Fixed Service claims it never
+does; the harness checks that claim three ways (exact match, bias-
+corrected MI upper bound, channel capacity — see
+:mod:`repro.certify.estimators`).
+
+Batches fan out over the same spawn-started process pool the parallel
+sweep executor uses (:func:`repro.sim.sweep.worker_pool`): strategies
+are picklable data, every verdict is a pure function of (scheme spec,
+strategy, config, engine), and results merge in submission order — so a
+``workers=4`` certification writes a byte-identical artifact to a
+serial run, and a killed batch resumes from its JSON checkpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.leakage import victim_view
+from ..errors import ConfigError, SchemeError
+from ..schemes import REGISTRY, SchemeSpec
+from ..sim.config import SystemConfig
+from ..sim.runner import SchemeOptions
+from .estimators import (
+    binary_channel_capacity,
+    bootstrap_upper_bound,
+    canonicalize_by_trial,
+    corrected_mi_bits,
+)
+from .strategies import AttackerStrategy
+
+#: Certification checkpoint schema version.
+CHECKPOINT_VERSION = 1
+
+#: Default leakage tolerance, in bits per two-world experiment.
+DEFAULT_EPSILON_BITS = 0.01
+
+#: Fields serialized into checkpoints / the JSONL artifact, in order.
+_VERDICT_FIELDS = (
+    "strategy", "family", "seed", "trials", "samples", "exact_match",
+    "mi_bits", "mi_upper_bits", "capacity_bits", "passed",
+    "error_type", "error",
+)
+
+
+@dataclass(frozen=True)
+class StrategyVerdict:
+    """The statistical certificate for one strategy."""
+
+    strategy: str
+    family: str
+    seed: int
+    trials: int
+    #: (secret, observation-id) samples reduced to the MI estimate.
+    samples: int
+    #: Every trial's two worlds produced literally identical attacker
+    #: observations (the paper's exact non-interference claim).
+    exact_match: bool
+    #: Miller-Madow bias-corrected MI point estimate, bits.
+    mi_bits: float
+    #: Bootstrap upper confidence bound (the number compared against
+    #: epsilon; never below :attr:`mi_bits`).
+    mi_upper_bits: float
+    #: Capacity of the strategy's empirical two-secret channel.
+    capacity_bits: float
+    #: Verdict under the batch's epsilon and the scheme's claims.
+    passed: bool
+    #: Populated when the experiment itself raised instead of running.
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+
+    def to_json_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for name in _VERDICT_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, float):
+                value = round(value, 12)
+            out[name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The aggregate verdict for one (scheme, engine, epsilon) batch."""
+
+    scheme: str
+    engine: str
+    epsilon_bits: float
+    fixed_service: bool
+    verdicts: Tuple[StrategyVerdict, ...]
+    #: Strategies never run (wall-clock budget exhausted).
+    skipped: Tuple[str, ...] = ()
+
+    @property
+    def certified(self) -> bool:
+        """True iff every executed strategy passed and none errored."""
+        return bool(self.verdicts) and all(
+            v.passed for v in self.verdicts
+        )
+
+    @property
+    def complete(self) -> bool:
+        return not self.skipped
+
+    @property
+    def max_mi_upper_bits(self) -> float:
+        return max(
+            (v.mi_upper_bits for v in self.verdicts), default=0.0
+        )
+
+    @property
+    def worst_strategy(self) -> Optional[StrategyVerdict]:
+        """The executed strategy with the largest MI upper bound
+        (failures first — an errored strategy is always 'worst')."""
+        if not self.verdicts:
+            return None
+        return max(
+            self.verdicts,
+            key=lambda v: (v.error_type is not None, v.mi_upper_bits,
+                           not v.exact_match),
+        )
+
+    def summary_dict(self) -> Dict[str, object]:
+        """The artifact's trailer line (no volatile values)."""
+        return {
+            "certificate": {
+                "scheme": self.scheme,
+                "engine": self.engine,
+                "epsilon_bits": round(self.epsilon_bits, 12),
+                "fixed_service": self.fixed_service,
+                "strategies": len(self.verdicts),
+                "skipped": len(self.skipped),
+                "certified": self.certified,
+                "max_mi_upper_bits": round(self.max_mi_upper_bits, 12),
+            }
+        }
+
+
+def _observation(view) -> Tuple:
+    """Everything the attacker can see of its own run, as one hashable
+    value: the block-completion profile and every read's release cycle."""
+    return (view.profile, view.read_releases)
+
+
+def two_world_samples(
+    scheme: str,
+    strategy: AttackerStrategy,
+    config: SystemConfig,
+    engine: str = "reference",
+    max_cycles: int = 2_000_000,
+) -> Tuple[List[Tuple[int, int, Tuple]], bool]:
+    """Run the paired experiment and return ``(raw samples, exact)``.
+
+    ``raw`` holds ``(trial, secret, observation)`` triples; ``exact`` is
+    True when every trial's two observations matched bit-for-bit.
+    """
+    options = SchemeOptions(
+        refresh=strategy.refresh, faults=strategy.faults
+    )
+    raw: List[Tuple[int, int, Tuple]] = []
+    exact = True
+    for trial in range(strategy.trials):
+        trial_config = dataclasses.replace(
+            config, seed=config.seed + 7919 * trial + strategy.seed
+        )
+        views = []
+        for secret, co_runner in enumerate(
+            (strategy.secret0, strategy.secret1)
+        ):
+            view = victim_view(
+                scheme, strategy.attacker, co_runner,
+                config=trial_config, options=options,
+                max_cycles=max_cycles, engine=engine,
+            )
+            views.append(view)
+            raw.append((trial, secret, _observation(view)))
+        if _observation(views[0]) != _observation(views[1]):
+            exact = False
+    return raw, exact
+
+
+def certify_strategy(
+    scheme: str,
+    strategy: AttackerStrategy,
+    config: SystemConfig,
+    engine: str = "reference",
+    epsilon_bits: float = DEFAULT_EPSILON_BITS,
+    max_cycles: int = 2_000_000,
+    bootstrap_resamples: int = 200,
+) -> StrategyVerdict:
+    """Run one strategy and reduce it to a :class:`StrategyVerdict`.
+
+    ``passed`` demands the MI upper bound stay within epsilon and — for
+    schemes whose spec claims ``fixed_service`` — literal two-world
+    equality: a Fixed Service scheme that merely leaks *little* still
+    fails, because the paper's claim is exact.
+    """
+    spec = REGISTRY.get(scheme)
+    raw, exact = two_world_samples(
+        scheme, strategy, config, engine=engine, max_cycles=max_cycles
+    )
+    samples = canonicalize_by_trial(raw)
+    mi = corrected_mi_bits(samples)
+    upper = bootstrap_upper_bound(
+        samples, resamples=bootstrap_resamples, seed=strategy.seed
+    )
+    capacity = binary_channel_capacity(samples)
+    passed = upper <= epsilon_bits and (
+        exact or not spec.fixed_service
+    )
+    return StrategyVerdict(
+        strategy=strategy.name,
+        family=strategy.family,
+        seed=strategy.seed,
+        trials=strategy.trials,
+        samples=len(samples),
+        exact_match=exact,
+        mi_bits=mi,
+        mi_upper_bits=upper,
+        capacity_bits=capacity,
+        passed=passed,
+    )
+
+
+def _failure_verdict(
+    strategy: AttackerStrategy, exc: BaseException
+) -> StrategyVerdict:
+    """An errored experiment can never certify: worst-case values."""
+    return StrategyVerdict(
+        strategy=strategy.name,
+        family=strategy.family,
+        seed=strategy.seed,
+        trials=strategy.trials,
+        samples=0,
+        exact_match=False,
+        mi_bits=float("nan"),
+        mi_upper_bits=float("inf"),
+        capacity_bits=float("nan"),
+        passed=False,
+        error_type=type(exc).__name__,
+        error=str(exc),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry point (module level: spawn-picklable).
+# ----------------------------------------------------------------------
+
+def _certify_worker(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one strategy in a worker process.
+
+    The payload ships the (picklable) scheme spec so user-registered
+    schemes — including the test suite's planted leaky scheme — certify
+    in workers exactly like built-ins.  The returned dict is the
+    verdict's JSON form: computed entirely worker-side from
+    seed-deterministic inputs, so the parent's merge order cannot
+    influence any number in it.
+    """
+    from ..schemes import REGISTRY as worker_registry
+
+    spec = payload.get("spec")
+    if spec is not None:
+        worker_registry.ensure(spec)
+    strategy: AttackerStrategy = payload["strategy"]
+    try:
+        verdict = certify_strategy(
+            payload["scheme"], strategy, payload["config"],
+            engine=payload["engine"],
+            epsilon_bits=payload["epsilon_bits"],
+            max_cycles=payload["max_cycles"],
+            bootstrap_resamples=payload["bootstrap_resamples"],
+        )
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+        raise
+    except Exception as exc:
+        verdict = _failure_verdict(strategy, exc)
+    return verdict.to_json_dict()
+
+
+def _verdict_from_dict(raw: Dict[str, object]) -> StrategyVerdict:
+    return StrategyVerdict(**{k: raw.get(k) for k in _VERDICT_FIELDS})
+
+
+class CertificationRun:
+    """Execute a strategy batch against one scheme and aggregate.
+
+    Mirrors :class:`~repro.sim.sweep.Sweep`'s execution contract:
+    ``workers=1`` runs in-process, ``workers=N`` fans strategies over
+    :func:`~repro.sim.sweep.worker_pool` with submission-order merging
+    (byte-identical artifacts at any worker count), an optional JSON
+    checkpoint makes a killed batch resume without re-simulating
+    finished strategies, and ``budget_s`` bounds the wall clock — past
+    it, remaining strategies are recorded as skipped rather than run.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        engine: str = "reference",
+        epsilon_bits: float = DEFAULT_EPSILON_BITS,
+        max_cycles: int = 2_000_000,
+        bootstrap_resamples: int = 200,
+        workers: int = 1,
+        checkpoint: Optional[str] = None,
+        budget_s: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if epsilon_bits < 0:
+            raise ConfigError(
+                f"epsilon must be non-negative, got {epsilon_bits}"
+            )
+        self.config = config or SystemConfig(
+            num_cores=4, accesses_per_core=150
+        )
+        self.engine = engine
+        self.epsilon_bits = epsilon_bits
+        self.max_cycles = max_cycles
+        self.bootstrap_resamples = bootstrap_resamples
+        self.workers = workers
+        self.checkpoint = checkpoint
+        self.budget_s = budget_s
+        #: Wall clock of the last :meth:`run` (volatile; never part of
+        #: checkpoints or artifacts).
+        self.last_wall_s: Optional[float] = None
+        #: strategy name -> verdict dict, loaded from the checkpoint.
+        self._completed: Dict[str, Dict[str, object]] = {}
+        self._checkpoint_key: Optional[str] = None
+
+    # -- checkpointing --------------------------------------------------
+
+    def _batch_key(self, scheme: str) -> str:
+        """Identity of a batch: anything that changes a verdict."""
+        return json.dumps({
+            "scheme": scheme,
+            "engine": self.engine,
+            "epsilon_bits": round(self.epsilon_bits, 12),
+            "max_cycles": self.max_cycles,
+            "bootstrap_resamples": self.bootstrap_resamples,
+            "config": repr(self.config),
+        }, sort_keys=True)
+
+    def _load_checkpoint(self, scheme: str) -> None:
+        self._completed = {}
+        if self.checkpoint is None or not os.path.exists(
+            self.checkpoint
+        ):
+            return
+        with open(self.checkpoint) as handle:
+            data = json.load(handle)
+        if data.get("version") != CHECKPOINT_VERSION:
+            return
+        if data.get("batch_key") != self._batch_key(scheme):
+            return  # different experiment: start fresh
+        for raw in data.get("verdicts", []):
+            self._completed[str(raw["strategy"])] = raw
+
+    def _save_checkpoint(self, scheme: str) -> None:
+        if self.checkpoint is None:
+            return
+        data = {
+            "version": CHECKPOINT_VERSION,
+            "batch_key": self._batch_key(scheme),
+            "verdicts": list(self._completed.values()),
+        }
+        directory = os.path.dirname(os.path.abspath(self.checkpoint))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".certify-ckpt-"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle, indent=1)
+            os.replace(tmp_path, self.checkpoint)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # -- execution ------------------------------------------------------
+
+    def _payload(
+        self, spec: SchemeSpec, scheme: str,
+        strategy: AttackerStrategy,
+    ) -> Dict[str, object]:
+        return {
+            "spec": spec,
+            "scheme": scheme,
+            "strategy": strategy,
+            "config": self.config,
+            "engine": self.engine,
+            "epsilon_bits": self.epsilon_bits,
+            "max_cycles": self.max_cycles,
+            "bootstrap_resamples": self.bootstrap_resamples,
+        }
+
+    def run(
+        self,
+        scheme: str,
+        strategies: Sequence[AttackerStrategy],
+    ) -> Certificate:
+        """Certify ``scheme`` against the batch and aggregate."""
+        spec = REGISTRY.get(scheme)
+        if not spec.certifiable:
+            raise SchemeError(
+                f"scheme {scheme!r} is not certifiable (its spec sets "
+                f"certifiable=False); the two-world protocol does not "
+                f"apply to it"
+            )
+        self.config.validate_for_scheme(scheme)
+        names = [s.name for s in strategies]
+        if len(set(names)) != len(names):
+            raise ConfigError(
+                "strategy names must be unique within a batch"
+            )
+        self._load_checkpoint(scheme)
+        start = time.monotonic()
+        try:
+            if self.workers <= 1:
+                skipped = self._run_serial(spec, scheme, strategies)
+            else:
+                skipped = self._run_parallel(spec, scheme, strategies)
+        finally:
+            self.last_wall_s = time.monotonic() - start
+        verdicts = tuple(
+            _verdict_from_dict(self._completed[s.name])
+            for s in strategies if s.name in self._completed
+        )
+        return Certificate(
+            scheme=scheme,
+            engine=self.engine,
+            epsilon_bits=self.epsilon_bits,
+            fixed_service=spec.fixed_service,
+            verdicts=verdicts,
+            skipped=tuple(skipped),
+        )
+
+    def _out_of_budget(self, start: float) -> bool:
+        return (
+            self.budget_s is not None
+            and time.monotonic() - start > self.budget_s
+        )
+
+    def _run_serial(
+        self, spec, scheme: str,
+        strategies: Sequence[AttackerStrategy],
+    ) -> List[str]:
+        start = time.monotonic()
+        skipped: List[str] = []
+        for strategy in strategies:
+            if strategy.name in self._completed:
+                continue
+            if self._out_of_budget(start):
+                skipped.append(strategy.name)
+                continue
+            raw = _certify_worker(
+                self._payload(spec, scheme, strategy)
+            )
+            self._completed[strategy.name] = raw
+            self._save_checkpoint(scheme)
+        return skipped
+
+    def _run_parallel(
+        self, spec, scheme: str,
+        strategies: Sequence[AttackerStrategy],
+    ) -> List[str]:
+        from ..sim.sweep import worker_pool
+
+        start = time.monotonic()
+        skipped: List[str] = []
+        pool = worker_pool(self.workers)
+        futures = {}
+        try:
+            for strategy in strategies:
+                if strategy.name in self._completed:
+                    continue
+                if self._out_of_budget(start):
+                    skipped.append(strategy.name)
+                    continue
+                futures[strategy.name] = pool.submit(
+                    _certify_worker,
+                    self._payload(spec, scheme, strategy),
+                )
+            # Merge in submission order: artifacts and checkpoints are
+            # byte-identical to a serial run at any worker count.
+            for strategy in strategies:
+                future = futures.get(strategy.name)
+                if future is None:
+                    continue
+                try:
+                    raw = future.result()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    # A hard worker death (segfault, OOM-kill) is
+                    # isolated per strategy; finished ones stay
+                    # checkpointed and the batch resumes cleanly.
+                    raw = _failure_verdict(
+                        strategy, exc
+                    ).to_json_dict()
+                self._completed[strategy.name] = raw
+                self._save_checkpoint(scheme)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return skipped
+
+    # -- export ---------------------------------------------------------
+
+    def export_jsonl(
+        self, certificate: Certificate, path: str
+    ) -> None:
+        """Write the certification artifact: one JSON line per verdict
+        (batch order) plus a trailer line with the aggregate — no
+        volatile values, so any two equivalent runs produce the same
+        bytes."""
+        from ..telemetry.collector import open_sink
+
+        handle = open_sink(path)
+        try:
+            write_certificate_jsonl(certificate, handle)
+        finally:
+            handle.close()
+
+    def metrics_registry(self, certificate: Certificate):
+        """The certificate as telemetry: per-strategy MI gauges plus
+        batch counters, mergeable into any grid/dashboard registry."""
+        from ..telemetry.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        labels = ("scheme", "strategy", "family")
+        mi = registry.gauge(
+            "certify_mi_bits",
+            "bias-corrected MI point estimate per strategy", labels,
+        )
+        upper = registry.gauge(
+            "certify_mi_upper_bits",
+            "bootstrap MI upper confidence bound per strategy", labels,
+        )
+        capacity = registry.gauge(
+            "certify_capacity_bits",
+            "empirical two-secret channel capacity per strategy",
+            labels,
+        )
+        exact = registry.gauge(
+            "certify_exact_match",
+            "1 when both worlds matched bit-for-bit", labels,
+        )
+        outcomes = registry.counter(
+            "certify_strategies_total",
+            "strategy verdicts by outcome", ("scheme", "outcome"),
+        )
+        for v in certificate.verdicts:
+            key = dict(
+                scheme=certificate.scheme, strategy=v.strategy,
+                family=v.family,
+            )
+            if v.error_type is None:
+                mi.set(round(v.mi_bits, 9), **key)
+                upper.set(round(v.mi_upper_bits, 9), **key)
+                capacity.set(round(v.capacity_bits, 9), **key)
+            exact.set(int(v.exact_match), **key)
+            outcome = (
+                "error" if v.error_type is not None
+                else "pass" if v.passed else "leak"
+            )
+            outcomes.inc(scheme=certificate.scheme, outcome=outcome)
+        if certificate.skipped:
+            outcomes.inc(
+                len(certificate.skipped),
+                scheme=certificate.scheme, outcome="skipped",
+            )
+        registry.gauge(
+            "certify_epsilon_bits", "certification tolerance",
+            ("scheme",),
+        ).set(round(certificate.epsilon_bits, 12),
+              scheme=certificate.scheme)
+        registry.gauge(
+            "certify_certified",
+            "1 when the scheme certified under the batch", ("scheme",),
+        ).set(int(certificate.certified), scheme=certificate.scheme)
+        wall = registry.gauge(
+            "certify_wall_seconds",
+            "wall clock of the last batch", volatile=True,
+        )
+        if self.last_wall_s is not None:
+            wall.set(round(self.last_wall_s, 6))
+        return registry
+
+
+def write_certificate_jsonl(certificate: Certificate, handle) -> None:
+    """Stream one certificate into an open JSONL handle: verdict lines
+    in batch order, then the aggregate trailer.  Pure function of the
+    certificate, so equivalent runs write identical bytes (the CLI
+    concatenates several schemes' certificates into one artifact)."""
+    for verdict in certificate.verdicts:
+        handle.write(json.dumps(
+            verdict.to_json_dict(), sort_keys=True
+        ))
+        handle.write("\n")
+    handle.write(json.dumps(
+        certificate.summary_dict(), sort_keys=True
+    ))
+    handle.write("\n")
+
+
+def certify_scheme(
+    scheme: str,
+    strategies: Sequence[AttackerStrategy],
+    config: Optional[SystemConfig] = None,
+    engine: str = "reference",
+    epsilon_bits: float = DEFAULT_EPSILON_BITS,
+    **run_kwargs,
+) -> Certificate:
+    """One-call certification: run the batch and return the
+    :class:`Certificate` (see :class:`CertificationRun` for knobs)."""
+    run = CertificationRun(
+        config=config, engine=engine, epsilon_bits=epsilon_bits,
+        **run_kwargs,
+    )
+    return run.run(scheme, strategies)
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Certificate",
+    "CertificationRun",
+    "DEFAULT_EPSILON_BITS",
+    "StrategyVerdict",
+    "certify_scheme",
+    "certify_strategy",
+    "two_world_samples",
+    "write_certificate_jsonl",
+]

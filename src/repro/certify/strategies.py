@@ -1,0 +1,386 @@
+"""Seed-deterministic attacker-strategy generation.
+
+The certification harness does not replay a handful of hand-picked
+probes; it *searches* the attacker-strategy space.  Gong & Kiyavash
+showed that deterministic work-conserving schedulers leak quantifiable
+information to adaptive probers, and Kadloor et al. that the attacker's
+strategy choice dominates the measured leakage — so every certification
+batch draws its attackers from a pluggable registry of strategy
+*families*, each a generator that expands a seed into concrete attacker
+workloads, secret pairs, and environment knobs (refresh, fault
+campaigns).
+
+A strategy is pure data (:class:`AttackerStrategy`): frozen, hashable,
+picklable, so batches fan out over spawn-started worker processes the
+same way scheme specs do.  The built-in families:
+
+=================  ===================================================
+family             attacker model
+=================  ===================================================
+``adaptive_probe`` closed-loop latency prober: high dependency
+                   fraction makes every probe's issue time a function
+                   of the previous probe's *observed* latency
+``refresh_phase``  regular (burstiness 0) prober under deterministic
+                   refresh, hunting phase alignment with the refresh
+                   blackout schedule
+``burst_idle``     sender-style secrets: the two worlds differ in
+                   on/off burst modulation, the covert-channel shape
+``fault_composed`` an adaptive prober run inside a seed-deterministic
+                   :class:`~repro.faults.FaultPlan` campaign — leak
+                   hunting through the fault-recovery paths
+``secret_pair``    randomized victim secret pairs drawn from the
+                   characterized SPEC/NPB workload library
+=================  ===================================================
+
+Register a new family exactly like a new scheme::
+
+    from repro.certify import register_strategy
+
+    @register_strategy("row_hammer_probe")
+    def _gen(rng, index):
+        return AttackerStrategy(...)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
+    Tuple
+
+from ..errors import ConfigError
+from ..faults import FaultKind, FaultPlan, FaultSpec
+from ..workloads.spec import SPEC2K6, workload
+from ..workloads.synthetic import LINES_PER_ROW, WorkloadSpec
+
+#: Fault kinds a generated campaign may arm.  ``borrow_foreign_slot``
+#: is excluded: it is the *deliberately broken* recovery policy the
+#: watchdog suite plants, not a fault model a certified build ships.
+COMPOSABLE_FAULTS: Tuple[FaultKind, ...] = (
+    FaultKind.DROP_COMMAND,
+    FaultKind.DUPLICATE_COMMAND,
+    FaultKind.DELAY_SLOT,
+    FaultKind.REFRESH_COLLISION,
+    FaultKind.CORRUPT_TRACE,
+    FaultKind.QUEUE_OVERFLOW,
+)
+
+
+@dataclass(frozen=True)
+class AttackerStrategy:
+    """One adversarial experiment, declaratively.
+
+    The attacker owns domain 0 and observes only its own timing; the
+    secret selects which co-runner workload fills every other domain
+    (the two-world protocol).  All fields are plain data, so strategies
+    pickle into worker processes and hash into checkpoints.
+    """
+
+    #: Unique name within a batch, e.g. ``"adaptive_probe/3"``.
+    name: str
+    #: Generating family (registry key).
+    family: str
+    #: The strategy's own derived seed (bootstrap resamples and fault
+    #: plans key off it, never off batch position).
+    seed: int
+    #: The attacker's probe workload (domain 0).
+    attacker: WorkloadSpec
+    #: Co-runner workload when the secret bit is 0.
+    secret0: WorkloadSpec
+    #: Co-runner workload when the secret bit is 1.
+    secret1: WorkloadSpec
+    #: Paired two-world runs per strategy; each trial re-seeds the
+    #: attacker's own trace, so seed-induced variation is represented.
+    trials: int = 3
+    #: Run both worlds under deterministic refresh (schemes that do not
+    #: support refresh ignore the knob, by existing options semantics).
+    refresh: bool = False
+    #: Optional seed-deterministic fault campaign for both worlds.
+    faults: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ConfigError(
+                f"strategy {self.name!r}: trials must be >= 1"
+            )
+        if self.secret0 == self.secret1:
+            raise ConfigError(
+                f"strategy {self.name!r}: the two secret worlds must "
+                f"differ, or the experiment is vacuous"
+            )
+
+
+#: A family generator: (family-seeded rng, index within family) -> one
+#: concrete strategy.  Names are filled in by the registry wrapper.
+StrategyGenerator = Callable[[random.Random, int], AttackerStrategy]
+
+
+class StrategyRegistry:
+    """Insertion-ordered family name -> generator, mirroring
+    :class:`~repro.schemes.SchemeRegistry`."""
+
+    def __init__(self) -> None:
+        self._generators: Dict[str, StrategyGenerator] = {}
+
+    def register(
+        self, family: str, generator: StrategyGenerator,
+        replace: bool = False,
+    ) -> StrategyGenerator:
+        if not family:
+            raise ConfigError("a strategy family needs a name")
+        if family in self._generators and not replace:
+            raise ConfigError(
+                f"strategy family {family!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        self._generators[family] = generator
+        return generator
+
+    def unregister(self, family: str) -> None:
+        if family not in self._generators:
+            raise ConfigError(
+                f"cannot unregister unknown strategy family {family!r}"
+            )
+        del self._generators[family]
+
+    def get(self, family: str) -> StrategyGenerator:
+        try:
+            return self._generators[family]
+        except KeyError:
+            raise ConfigError(
+                f"unknown strategy family {family!r}; known: "
+                f"{', '.join(self._generators) or '(none)'}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._generators)
+
+    def __contains__(self, family: object) -> bool:
+        return family in self._generators
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._generators)
+
+    def __len__(self) -> int:
+        return len(self._generators)
+
+
+#: The process-global strategy registry, populated below.
+STRATEGIES = StrategyRegistry()
+
+
+def register_strategy(
+    family: str,
+    registry: Optional[StrategyRegistry] = None,
+    replace: bool = False,
+) -> Callable[[StrategyGenerator], StrategyGenerator]:
+    """Decorator registering a strategy-family generator."""
+    target = registry if registry is not None else STRATEGIES
+
+    def decorate(fn: StrategyGenerator) -> StrategyGenerator:
+        target.register(family, fn, replace=replace)
+        return fn
+
+    return decorate
+
+
+def strategy_seed(family: str, index: int, batch_seed: int) -> int:
+    """The derived seed for one (family, index, batch) cell.
+
+    CRC-based, not ``hash()``-based, so a batch is reproducible across
+    processes and ``PYTHONHASHSEED`` values — the same discipline as
+    trace generation.
+    """
+    tag = zlib.crc32(f"{family}:{index}".encode("utf-8"))
+    return (tag * 1_000_003 + batch_seed) & 0x7FFFFFFF
+
+
+def generate_strategies(
+    count: int,
+    seed: int = 0,
+    families: Optional[Sequence[str]] = None,
+    registry: Optional[StrategyRegistry] = None,
+) -> List[AttackerStrategy]:
+    """Expand ``(count, seed)`` into a deterministic strategy batch.
+
+    Families are visited round-robin in registration order, so a batch
+    of 50 covers every registered family rather than front-loading one.
+    The result depends only on the arguments — never on execution order
+    or prior batches — which is what checkpoint resume relies on.
+    """
+    target = registry if registry is not None else STRATEGIES
+    if count < 1:
+        raise ConfigError(f"need at least one strategy, got {count}")
+    chosen = tuple(families) if families is not None else target.names()
+    if not chosen:
+        raise ConfigError("no strategy families registered/selected")
+    generators = {f: target.get(f) for f in chosen}
+    out: List[AttackerStrategy] = []
+    for i in range(count):
+        family = chosen[i % len(chosen)]
+        index = i // len(chosen)
+        derived = strategy_seed(family, index, seed)
+        rng = random.Random(derived)
+        strategy = generators[family](rng, index)
+        out.append(dataclasses.replace(
+            strategy,
+            name=f"{family}/{index}", family=family, seed=derived,
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Built-in families.
+# ----------------------------------------------------------------------
+
+def _prober(rng: random.Random, tag: str, *, regular: bool = False,
+            ) -> WorkloadSpec:
+    """An attacker workload with rng-drawn probe characteristics.
+
+    ``dependency_fraction`` near 1 makes the prober *closed-loop*: each
+    probe's issue time depends on the previous probe's observed latency,
+    so the probe train adapts to whatever timing the scheduler exposes.
+    """
+    return WorkloadSpec(
+        name=f"prober_{tag}",
+        mpki=rng.uniform(8.0, 60.0),
+        read_fraction=1.0,
+        row_locality=rng.uniform(0.0, 0.4),
+        working_set_lines=LINES_PER_ROW * (1 << rng.randrange(4, 10)),
+        dependency_fraction=rng.uniform(0.6, 1.0),
+        burstiness=0.0 if regular else rng.uniform(0.0, 0.8),
+        burst_length=1.0 + rng.random() * 2.0,
+        streams=rng.randrange(1, 5),
+    )
+
+
+def _quiet_secret(rng: random.Random, tag: str) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=f"quiet_{tag}",
+        mpki=rng.uniform(0.05, 0.5),
+        read_fraction=1.0,
+        row_locality=rng.uniform(0.7, 1.0),
+        working_set_lines=LINES_PER_ROW * 16,
+    )
+
+
+def _loud_secret(rng: random.Random, tag: str) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=f"loud_{tag}",
+        mpki=rng.uniform(40.0, 100.0),
+        read_fraction=rng.uniform(0.5, 0.9),
+        row_locality=rng.uniform(0.0, 0.3),
+        working_set_lines=1 << 20,
+        streams=rng.randrange(2, 8),
+    )
+
+
+@register_strategy("adaptive_probe")
+def _adaptive_probe(rng: random.Random, index: int) -> AttackerStrategy:
+    tag = f"ap{index}_{rng.randrange(1 << 16)}"
+    return AttackerStrategy(
+        name="", family="", seed=0,
+        attacker=_prober(rng, tag),
+        secret0=_quiet_secret(rng, tag),
+        secret1=_loud_secret(rng, tag),
+    )
+
+
+@register_strategy("refresh_phase")
+def _refresh_phase(rng: random.Random, index: int) -> AttackerStrategy:
+    """Probe regularly under deterministic refresh: if refresh blackouts
+    were demand- (and hence co-runner-) driven, phase drift between the
+    probe train and the blackout schedule would read the secret out."""
+    tag = f"rp{index}_{rng.randrange(1 << 16)}"
+    return AttackerStrategy(
+        name="", family="", seed=0,
+        attacker=_prober(rng, tag, regular=True),
+        secret0=_quiet_secret(rng, tag),
+        secret1=_loud_secret(rng, tag),
+        refresh=True,
+    )
+
+
+@register_strategy("burst_idle")
+def _burst_idle(rng: random.Random, index: int) -> AttackerStrategy:
+    """Covert-channel-shaped secrets: both worlds are *active*, but one
+    modulates on/off bursts — the hardest shape for threshold checks
+    that only compare mean intensity."""
+    tag = f"bi{index}_{rng.randrange(1 << 16)}"
+    steady = WorkloadSpec(
+        name=f"steady_{tag}",
+        mpki=rng.uniform(10.0, 30.0),
+        read_fraction=0.8,
+        row_locality=0.5,
+        burstiness=0.0,
+        burst_length=1.0,
+    )
+    modulated = WorkloadSpec(
+        name=f"modulated_{tag}",
+        mpki=steady.mpki,
+        read_fraction=0.8,
+        row_locality=0.5,
+        burstiness=1.0,
+        burst_length=rng.uniform(8.0, 24.0),
+        intra_burst_gap=0,
+    )
+    return AttackerStrategy(
+        name="", family="", seed=0,
+        attacker=_prober(rng, tag),
+        secret0=steady,
+        secret1=modulated,
+    )
+
+
+@register_strategy("fault_composed")
+def _fault_composed(rng: random.Random, index: int) -> AttackerStrategy:
+    """An adaptive prober with a seed-deterministic fault campaign:
+    certification must hold on the recovery paths too, where a sloppy
+    recovery (e.g. serving backlog in a foreign slot) re-opens the
+    channel."""
+    tag = f"fc{index}_{rng.randrange(1 << 16)}"
+    kinds = rng.sample(COMPOSABLE_FAULTS, rng.randrange(1, 4))
+    plan = FaultPlan(
+        specs=tuple(
+            FaultSpec(kind=k, rate=rng.uniform(0.005, 0.05))
+            for k in kinds
+        ),
+        seed=rng.randrange(1 << 30),
+    )
+    return AttackerStrategy(
+        name="", family="", seed=0,
+        attacker=_prober(rng, tag),
+        secret0=_quiet_secret(rng, tag),
+        secret1=_loud_secret(rng, tag),
+        faults=plan,
+    )
+
+
+@register_strategy("secret_pair")
+def _secret_pair(rng: random.Random, index: int) -> AttackerStrategy:
+    """Randomized victim secret pairs from the characterized workload
+    library: the secret is *which program* the victim runs, the exact
+    scenario the paper's cloud deployment model worries about."""
+    tag = f"sp{index}_{rng.randrange(1 << 16)}"
+    names = sorted(SPEC2K6)
+    a, b = rng.sample(names, 2)
+    return AttackerStrategy(
+        name="", family="", seed=0,
+        attacker=_prober(rng, tag),
+        secret0=workload(a),
+        secret1=workload(b),
+    )
+
+
+__all__ = [
+    "AttackerStrategy",
+    "COMPOSABLE_FAULTS",
+    "STRATEGIES",
+    "StrategyGenerator",
+    "StrategyRegistry",
+    "generate_strategies",
+    "register_strategy",
+    "strategy_seed",
+]

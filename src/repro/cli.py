@@ -16,6 +16,10 @@ Commands:
 * ``sweep``   — run a (scheme x workload) grid with failure isolation
   and optional JSON checkpoint/resume (``--metrics`` aggregates the
   grid into a JSON or Prometheus artifact).
+* ``certify`` — adversarial non-interference certification: fan a
+  seed-deterministic attacker strategy batch through paired two-world
+  experiments and exit non-zero unless every requested scheme's MI
+  upper bound stays within epsilon.
 
 Any :class:`~repro.errors.ReproError` (bad config, malformed trace,
 unknown fault spec, schedule violation, ...) is reported on stderr and
@@ -360,6 +364,84 @@ def cmd_sweep(args) -> int:
     return 1 if sweep.failed_points else 0
 
 
+def cmd_certify(args) -> int:
+    """Adversarial certification; exit 0 iff every scheme certified.
+
+    Exit status: 0 when every requested scheme certified under the
+    strategy batch, 1 when any scheme leaked (or a strategy errored),
+    2 on a :class:`~repro.errors.ReproError` — so CI can assert both
+    directions: FS schemes must exit 0, the non-secure baseline and the
+    test suite's planted leaky scheme must exit 1.
+    """
+    import dataclasses as _dc
+
+    from .certify import CertificationRun, generate_strategies
+    from .certify.harness import write_certificate_jsonl
+    from .schemes import REGISTRY
+    from .telemetry import certification_report
+
+    config = _config(args)
+    schemes = args.scheme or list(REGISTRY.names_where(
+        fixed_service=True, certifiable=True
+    ))
+    strategies = generate_strategies(
+        args.strategies, seed=args.seed, families=args.families
+    )
+    if args.trials != 3:
+        strategies = [
+            _dc.replace(s, trials=args.trials) for s in strategies
+        ]
+    run = CertificationRun(
+        config=config,
+        engine=args.engine,
+        epsilon_bits=args.epsilon,
+        max_cycles=args.max_cycles,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        budget_s=args.budget,
+    )
+    artifact_handle = None
+    metrics = None
+    if args.artifact:
+        from .telemetry import open_sink
+
+        artifact_handle = open_sink(args.artifact)
+    all_certified = True
+    try:
+        for index, scheme in enumerate(schemes):
+            certificate = run.run(scheme, strategies)
+            all_certified = all_certified and certificate.certified
+            if index:
+                print()
+            print(certification_report(certificate))
+            if run.last_wall_s is not None:
+                print(f"  ({len(certificate.verdicts)} strategies in "
+                      f"{run.last_wall_s:.2f}s, {args.workers} "
+                      f"worker(s))", file=sys.stderr)
+            if artifact_handle is not None:
+                write_certificate_jsonl(certificate, artifact_handle)
+            if args.metrics:
+                registry = run.metrics_registry(certificate)
+                metrics = (
+                    registry if metrics is None
+                    else metrics.merge(registry)
+                )
+    finally:
+        if artifact_handle is not None:
+            artifact_handle.close()
+    if args.artifact:
+        print(f"artifact: {args.artifact}", file=sys.stderr)
+    if metrics is not None:
+        handle = None
+        from .telemetry import open_sink
+
+        handle = open_sink(args.metrics)
+        _write_registry(metrics, handle, args.metrics)
+        handle.close()
+        print(f"metrics: {args.metrics}", file=sys.stderr)
+    return 0 if all_certified else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all sub-commands."""
     parser = argparse.ArgumentParser(
@@ -492,6 +574,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "certify",
+        help="adversarial non-interference certification",
+    )
+    p.add_argument(
+        "--scheme", action="append", default=None, metavar="NAME",
+        help="scheme to certify (repeatable; default: every "
+             "certifiable fixed-service scheme)",
+    )
+    p.add_argument(
+        "--strategies", type=int, default=10, metavar="N",
+        help="attacker strategies to generate (default 10; round-"
+             "robins the registered families)",
+    )
+    p.add_argument(
+        "--families", nargs="+", default=None,
+        help="restrict generation to these strategy families "
+             "(default: all registered)",
+    )
+    p.add_argument(
+        "--trials", type=int, default=3,
+        help="paired two-world trials per strategy (default 3)",
+    )
+    p.add_argument(
+        "--epsilon", type=float, default=0.01, metavar="BITS",
+        help="leakage tolerance: max admissible MI upper bound in "
+             "bits (default 0.01)",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per scheme batch; strategies past it "
+             "are recorded as skipped instead of run",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the batch (default 1; the "
+             "artifact is byte-identical at any count)",
+    )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="JSON checkpoint; a killed batch resumes without "
+             "re-running finished strategies (single-scheme runs)",
+    )
+    p.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="write the certification verdicts as JSONL "
+             "(deterministic: serial and parallel runs match bytes)",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="export per-strategy MI gauges as a metrics artifact "
+             "(JSON; .prom/.txt selects Prometheus text exposition)",
+    )
+    p.add_argument(
+        "--max-cycles", type=int, default=2_000_000,
+        help="per-world cycle budget (default 2M)",
+    )
+    p.add_argument(
+        "--engine", choices=ENGINES, default="reference",
+        help="simulation engine for both worlds (default reference)",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_certify)
 
     return parser
 

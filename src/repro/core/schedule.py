@@ -174,6 +174,15 @@ def build_fs_schedule(
         mode, slot_gap = solver.best(sharing)
     else:
         slot_gap = solver.solve(mode, sharing)
+    if sharing is SharingLevel.BANK:
+        # The solver only spaces *distinct* slots, which under bank
+        # partitioning always hit distinct banks.  A domain's own bank,
+        # though, recurs every ``num_domains * slot_gap`` cycles (the
+        # wrap-around to its next occurrence), and for small tRC-like
+        # parts that distance can undercut the same-bank ACT-to-ACT
+        # window.  Widen the gap until the wrap-around is safe.
+        wrap_gap = -(-solver.same_bank_min_gap() // num_domains)
+        slot_gap = max(slot_gap, wrap_gap)
     total_slots = num_domains * slots_per_domain
     slots = [
         SlotSpec(index=i, domain=i % num_domains, anchor_offset=i * slot_gap)

@@ -38,6 +38,10 @@ BUILTIN_SPECS = (
         description="strict FCFS, closed page (reference only)",
         family="fcfs", partitioning="none",
         controller=_FCFS, secure=False,
+        # Reference-only pedagogical controller: no fast-engine class
+        # and no per-domain service contract to state a two-world
+        # certification claim about.
+        certifiable=False,
     ),
     SchemeSpec(
         name="channel_part",

@@ -105,6 +105,13 @@ class SchemeSpec:
     #: Fixed Service family member: its inter-service cadence must be
     #: degenerate (single-gap), the paper's invariance observable.
     fixed_service: bool = False
+    #: The adversarial two-world certification harness
+    #: (:mod:`repro.certify`) accepts this scheme.  Defaults to True —
+    #: certification states facts about *measured* leakage, so even
+    #: non-secure schemes run (and fail, which is the point).  Set False
+    #: for schemes whose construction falls outside the protocol (e.g.
+    #: reference-only controllers with no per-domain service contract).
+    certifiable: bool = True
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -121,6 +121,28 @@ def _weighted_ipc(ipcs: Sequence[float],
 # Worker-process entry points (module level: spawn-picklable).
 # ----------------------------------------------------------------------
 
+def worker_pool(workers: int):
+    """A spawn-context :class:`~concurrent.futures.ProcessPoolExecutor`
+    with the parent's import paths mirrored into every worker.
+
+    The one process pool recipe the repository uses for simulation
+    fan-out: parallel sweep grids and certification batches
+    (:mod:`repro.certify`) both build their pools here, so worker
+    bootstrap fixes (path mirroring, spawn start method) land in one
+    place.
+    """
+    import concurrent.futures as cf
+    import multiprocessing
+
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    ctx = multiprocessing.get_context("spawn")
+    return cf.ProcessPoolExecutor(
+        max_workers=workers, mp_context=ctx,
+        initializer=_worker_init, initargs=(list(sys.path),),
+    )
+
+
 def _worker_init(parent_sys_path: List[str]) -> None:
     """Mirror the parent's import paths in a spawn-started worker.
 
@@ -481,9 +503,6 @@ class Sweep:
         cores: Optional[int],
         options: Optional[SchemeOptions],
     ) -> None:
-        import concurrent.futures as cf
-        import multiprocessing
-
         if options is not None and options.telemetry is not None:
             raise ConfigError(
                 "SchemeOptions.telemetry cannot cross process "
@@ -504,11 +523,7 @@ class Sweep:
         base_futures: Dict[Tuple, object] = {}
         base_spec = REGISTRY.find(self.baseline_scheme)
         broken: Optional[BaseException] = None
-        ctx = multiprocessing.get_context("spawn")
-        pool = cf.ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=ctx,
-            initializer=_worker_init, initargs=(list(sys.path),),
-        )
+        pool = worker_pool(self.workers)
         try:
             # -- submission (deterministic order) -----------------------
             for scheme, workload, c, label, key in cells:

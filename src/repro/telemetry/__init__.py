@@ -34,6 +34,7 @@ from .registry import (
     MetricsRegistry,
 )
 from .report import (
+    certification_report,
     histogram_report,
     histogram_to_registry,
     inter_service_histogram,
@@ -53,6 +54,7 @@ __all__ = [
     "TelemetrySession",
     "TraceCollector",
     "TraceEvent",
+    "certification_report",
     "chrome_trace_dict",
     "export_chrome_trace",
     "harvest_run",

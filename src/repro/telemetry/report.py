@@ -114,7 +114,52 @@ def histogram_to_registry(registry, histograms: Dict[int, Counter],
         spread.set(len(hist), domain=domain)
 
 
+def certification_report(certificate, max_rows: int = 12) -> str:
+    """Human-readable summary of a certification
+    :class:`~repro.certify.harness.Certificate` — per-strategy MI
+    bounds, worst strategy first, and the aggregate verdict."""
+    lines = [
+        f"certification — scheme {certificate.scheme} "
+        f"(engine {certificate.engine}, "
+        f"epsilon {certificate.epsilon_bits:g} bits)"
+    ]
+    ranked = sorted(
+        certificate.verdicts,
+        key=lambda v: (
+            v.error_type is None, v.passed, -v.mi_upper_bits,
+        ),
+    )
+    for verdict in ranked[:max_rows]:
+        if verdict.error_type is not None:
+            detail = f"ERROR {verdict.error_type}: {verdict.error}"
+        else:
+            detail = (
+                f"MI<= {verdict.mi_upper_bits:.6f} bits  "
+                f"capacity {verdict.capacity_bits:.6f}  "
+                f"{'exact-match' if verdict.exact_match else 'DIVERGED'}"
+            )
+        tag = "pass" if verdict.passed else "LEAK"
+        lines.append(f"  [{tag}] {verdict.strategy}: {detail}")
+    if len(certificate.verdicts) > max_rows:
+        lines.append(
+            f"  ... ({len(certificate.verdicts)} strategies total)"
+        )
+    if certificate.skipped:
+        lines.append(
+            f"  {len(certificate.skipped)} strategies skipped "
+            f"(budget exhausted)"
+        )
+    verdict = (
+        "CERTIFIED: no strategy extracted more than epsilon"
+        if certificate.certified
+        else "NOT CERTIFIED: at least one strategy read the secret"
+    )
+    lines.append(f"  => {verdict}")
+    return "\n".join(lines)
+
+
 __all__ = [
+    "certification_report",
     "histogram_report",
     "histogram_to_registry",
     "inter_service_histogram",

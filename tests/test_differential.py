@@ -164,3 +164,45 @@ def test_metrics_snapshot_equivalent_across_engines(scheme):
         "metrics snapshots diverged between engines"
     assert events["fast"] == events["reference"], \
         "trace event streams diverged between engines"
+
+
+# ---------------------------------------------------------------------
+# Certification equivalence.
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ["fs_rp", "baseline"])
+def test_certification_verdicts_equivalent_across_engines(scheme):
+    """The same strategy seed yields the *identical* certificate on
+    both engines — verdict, exact-match flag, and every MI/capacity
+    number, byte for byte once serialized.
+
+    This is what makes the fast engine a legitimate certification
+    backend: a scheme cannot pass on one engine and fail on the other,
+    in either direction (fs_rp certifies on both; the baseline leaks
+    identically on both).
+    """
+    import dataclasses
+
+    from repro.certify import certify_scheme, generate_strategies
+
+    config = SystemConfig(num_cores=4, accesses_per_core=80) \
+        .with_cores(4)
+    strategies = [
+        dataclasses.replace(s, trials=2)
+        for s in generate_strategies(3, seed=23)
+    ]
+    serialized = {}
+    for engine in ("reference", "fast"):
+        certificate = certify_scheme(
+            scheme, strategies, config=config, engine=engine
+        )
+        serialized[engine] = json.dumps(
+            [v.to_json_dict() for v in certificate.verdicts]
+            + [certificate.summary_dict()["certificate"]["certified"],
+               certificate.summary_dict()["certificate"]["scheme"]],
+            sort_keys=True,
+        )
+        assert certificate.certified == (scheme == "fs_rp")
+    assert serialized["fast"] == serialized["reference"], \
+        "certification verdicts diverged between engines"

@@ -187,7 +187,7 @@ class TestSpecValidation:
             "controller", "fast_controller", "sharing", "expected_l",
             "expected_q", "multi_channel", "reorder_window",
             "supports_refresh", "supports_prefetch", "secure",
-            "fixed_service",
+            "fixed_service", "certifiable",
         )
 
 
