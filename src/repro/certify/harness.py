@@ -35,6 +35,7 @@ from ..errors import ConfigError, SchemeError
 from ..schemes import REGISTRY, SchemeSpec
 from ..sim.config import SystemConfig
 from ..sim.runner import SchemeOptions
+from ..telemetry.log import get_logger
 from .estimators import (
     binary_channel_capacity,
     bootstrap_upper_bound,
@@ -45,6 +46,8 @@ from .strategies import AttackerStrategy
 
 #: Certification checkpoint schema version.
 CHECKPOINT_VERSION = 1
+
+_LOG = get_logger("certify")
 
 #: Default leakage tolerance, in bits per two-world experiment.
 DEFAULT_EPSILON_BITS = 0.01
@@ -162,20 +165,34 @@ def two_world_samples(
     config: SystemConfig,
     engine: str = "reference",
     max_cycles: int = 2_000_000,
+    tracer=None,
 ) -> Tuple[List[Tuple[int, int, Tuple]], bool]:
     """Run the paired experiment and return ``(raw samples, exact)``.
 
     ``raw`` holds ``(trial, secret, observation)`` triples; ``exact`` is
     True when every trial's two observations matched bit-for-bit.
+    With a :class:`~repro.telemetry.spans.SpanTracer`, each trial is
+    wrapped in a span and the engine records its run/phase/epoch spans
+    beneath it (telemetry is passive: verdicts are unchanged).
     """
     options = SchemeOptions(
         refresh=strategy.refresh, faults=strategy.faults
     )
+    if tracer is not None:
+        from ..telemetry.session import TelemetrySession
+
+        options = dataclasses.replace(
+            options, telemetry=TelemetrySession(tracer=tracer)
+        )
     raw: List[Tuple[int, int, Tuple]] = []
     exact = True
     for trial in range(strategy.trials):
         trial_config = dataclasses.replace(
             config, seed=config.seed + 7919 * trial + strategy.seed
+        )
+        trial_span = (
+            tracer.begin(f"trial {trial}", "trial")
+            if tracer is not None else None
         )
         views = []
         for secret, co_runner in enumerate(
@@ -188,6 +205,8 @@ def two_world_samples(
             )
             views.append(view)
             raw.append((trial, secret, _observation(view)))
+        if trial_span is not None:
+            tracer.end(trial_span)
         if _observation(views[0]) != _observation(views[1]):
             exact = False
     return raw, exact
@@ -201,6 +220,7 @@ def certify_strategy(
     epsilon_bits: float = DEFAULT_EPSILON_BITS,
     max_cycles: int = 2_000_000,
     bootstrap_resamples: int = 200,
+    tracer=None,
 ) -> StrategyVerdict:
     """Run one strategy and reduce it to a :class:`StrategyVerdict`.
 
@@ -211,7 +231,8 @@ def certify_strategy(
     """
     spec = REGISTRY.get(scheme)
     raw, exact = two_world_samples(
-        scheme, strategy, config, engine=engine, max_cycles=max_cycles
+        scheme, strategy, config, engine=engine, max_cycles=max_cycles,
+        tracer=tracer,
     )
     samples = canonicalize_by_trial(raw)
     mi = corrected_mi_bits(samples)
@@ -276,6 +297,11 @@ def _certify_worker(payload: Dict[str, object]) -> Dict[str, object]:
     if spec is not None:
         worker_registry.ensure(spec)
     strategy: AttackerStrategy = payload["strategy"]
+    tracer = None
+    if payload.get("spans"):
+        from ..telemetry.spans import SpanTracer
+
+        tracer = SpanTracer()
     try:
         verdict = certify_strategy(
             payload["scheme"], strategy, payload["config"],
@@ -283,12 +309,18 @@ def _certify_worker(payload: Dict[str, object]) -> Dict[str, object]:
             epsilon_bits=payload["epsilon_bits"],
             max_cycles=payload["max_cycles"],
             bootstrap_resamples=payload["bootstrap_resamples"],
+            tracer=tracer,
         )
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover
         raise
     except Exception as exc:
         verdict = _failure_verdict(strategy, exc)
-    return verdict.to_json_dict()
+    out = verdict.to_json_dict()
+    if tracer is not None:
+        # Side-channel key: the parent pops it before checkpointing so
+        # checkpoint/artifact bytes are untouched by span capture.
+        out["_spans"] = tracer.records
+    return out
 
 
 def _verdict_from_dict(raw: Dict[str, object]) -> StrategyVerdict:
@@ -317,6 +349,7 @@ class CertificationRun:
         workers: int = 1,
         checkpoint: Optional[str] = None,
         budget_s: Optional[float] = None,
+        collect_spans: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -340,6 +373,15 @@ class CertificationRun:
         #: strategy name -> verdict dict, loaded from the checkpoint.
         self._completed: Dict[str, Dict[str, object]] = {}
         self._checkpoint_key: Optional[str] = None
+        #: Collect hierarchical spans: each strategy's worker tracer is
+        #: shipped back and adopted in deterministic submission order
+        #: (never written into checkpoints or the JSONL artifact).
+        self.collect_spans = collect_spans
+        self.tracer = None
+        if collect_spans:
+            from ..telemetry.spans import SpanTracer
+
+            self.tracer = SpanTracer(track="certify")
 
     # -- checkpointing --------------------------------------------------
 
@@ -407,7 +449,24 @@ class CertificationRun:
             "epsilon_bits": self.epsilon_bits,
             "max_cycles": self.max_cycles,
             "bootstrap_resamples": self.bootstrap_resamples,
+            "spans": self.collect_spans,
         }
+
+    def _absorb(
+        self, strategy_name: str, raw: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Strip shipped spans from a worker result and adopt them.
+
+        Must run before the verdict dict is checkpointed: span capture
+        never changes checkpoint or artifact bytes.
+        """
+        records = raw.pop("_spans", None)
+        if records is not None and self.tracer is not None:
+            track = f"strategy {strategy_name}"
+            seq = self.tracer.begin(track, "batch")
+            self.tracer.adopt(records, track=track)
+            self.tracer.end(seq)
+        return raw
 
     def run(
         self,
@@ -468,11 +527,15 @@ class CertificationRun:
             if self._out_of_budget(start):
                 skipped.append(strategy.name)
                 continue
-            raw = _certify_worker(
+            raw = self._absorb(strategy.name, _certify_worker(
                 self._payload(spec, scheme, strategy)
-            )
+            ))
             self._completed[strategy.name] = raw
             self._save_checkpoint(scheme)
+            _LOG.info("strategy done", extra={
+                "scheme": scheme, "strategy": strategy.name,
+                "passed": raw.get("passed"),
+            })
         return skipped
 
     def _run_parallel(
@@ -513,8 +576,13 @@ class CertificationRun:
                     raw = _failure_verdict(
                         strategy, exc
                     ).to_json_dict()
+                raw = self._absorb(strategy.name, raw)
                 self._completed[strategy.name] = raw
                 self._save_checkpoint(scheme)
+                _LOG.info("strategy done", extra={
+                    "scheme": scheme, "strategy": strategy.name,
+                    "passed": raw.get("passed"),
+                })
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return skipped
@@ -535,6 +603,22 @@ class CertificationRun:
             write_certificate_jsonl(certificate, handle)
         finally:
             handle.close()
+
+    def export_trace(self, path: str) -> int:
+        """Write the merged batch span trace as Chrome trace JSON.
+
+        Requires ``collect_spans=True``; returns the span count."""
+        from ..errors import TelemetryError
+        from ..telemetry.chrome import export_span_trace
+
+        if self.tracer is None:
+            raise TelemetryError(
+                "span trace export requires "
+                "CertificationRun(collect_spans=True)"
+            )
+        return export_span_trace(
+            self.tracer, path, metadata={"source": "certify"}
+        )
 
     def metrics_registry(self, certificate: Certificate):
         """The certificate as telemetry: per-strategy MI gauges plus

@@ -15,15 +15,23 @@ Commands:
   trace-event JSON for Perfetto / ``chrome://tracing``.
 * ``sweep``   — run a (scheme x workload) grid with failure isolation
   and optional JSON checkpoint/resume (``--metrics`` aggregates the
-  grid into a JSON or Prometheus artifact).
+  grid into a JSON or Prometheus artifact; ``--trace`` writes the
+  merged hierarchical span trace).
 * ``certify`` — adversarial non-interference certification: fan a
   seed-deterministic attacker strategy batch through paired two-world
   experiments and exit non-zero unless every requested scheme's MI
   upper bound stays within epsilon.
+* ``bench``   — the performance ledger: ``bench record`` appends a
+  ``BENCH_<n>.json`` suite measurement, ``bench compare`` diffs two
+  entries and exits non-zero on regression.
+* ``report``  — render one self-contained HTML artifact for a run
+  (metrics, leakage histograms, span summary, optional certification
+  and bench sections).
 
-Any :class:`~repro.errors.ReproError` (bad config, malformed trace,
-unknown fault spec, schedule violation, ...) is reported on stderr and
-exits with status 2 instead of a traceback.
+``--log-level`` arms structured JSON-lines logging on stderr for every
+command.  Any :class:`~repro.errors.ReproError` (bad config, malformed
+trace, unknown fault spec, schedule violation, ...) is reported on
+stderr and exits with status 2 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -336,6 +344,7 @@ def cmd_sweep(args) -> int:
         strict=args.strict,
         workers=args.workers,
         engine=args.engine,
+        collect_spans=bool(args.trace),
     )
     sweep.run_grid(args.schemes, args.workloads)
     rows = [
@@ -361,6 +370,9 @@ def cmd_sweep(args) -> int:
     if args.metrics:
         sweep.export_metrics(args.metrics)
         print(f"metrics: {args.metrics}")
+    if args.trace:
+        n = sweep.export_trace(args.trace)
+        print(f"trace: {n} spans -> {args.trace}")
     return 1 if sweep.failed_points else 0
 
 
@@ -399,6 +411,7 @@ def cmd_certify(args) -> int:
         workers=args.workers,
         checkpoint=args.checkpoint,
         budget_s=args.budget,
+        collect_spans=bool(args.trace),
     )
     artifact_handle = None
     metrics = None
@@ -431,6 +444,9 @@ def cmd_certify(args) -> int:
             artifact_handle.close()
     if args.artifact:
         print(f"artifact: {args.artifact}", file=sys.stderr)
+    if args.trace:
+        n = run.export_trace(args.trace)
+        print(f"trace: {n} spans -> {args.trace}", file=sys.stderr)
     if metrics is not None:
         handle = None
         from .telemetry import open_sink
@@ -442,12 +458,119 @@ def cmd_certify(args) -> int:
     return 0 if all_certified else 1
 
 
+def cmd_bench_record(args) -> int:
+    """Run the pinned benchmark suite and append a ledger entry."""
+    from . import bench
+
+    path = bench.record(
+        args.root,
+        accesses=args.accesses,
+        cores=args.cores,
+        seed=args.seed,
+        label=args.label,
+    )
+    print(f"recorded: {path}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    """Diff two ledger entries; exit 1 when a metric regresses."""
+    from . import bench
+
+    comparison = bench.compare(
+        args.old, args.new, tolerance=args.tolerance
+    )
+    print(bench.format_comparison(comparison))
+    return 0 if comparison.passed else 1
+
+
+def cmd_report(args) -> int:
+    """Render one self-contained HTML artifact for a run."""
+    from .telemetry import (
+        SpanTracer,
+        TelemetrySession,
+        inter_service_histogram,
+        render_report,
+        write_report,
+    )
+
+    config = _config(args)
+    tracer = SpanTracer()
+    telemetry = TelemetrySession(profile=True, tracer=tracer)
+    options = SchemeOptions(telemetry=telemetry)
+    result = run_scheme(
+        args.scheme, config, suite_specs(args.workload, args.cores),
+        options, engine=args.engine,
+    )
+    telemetry.harvest(result)
+    histograms = inter_service_histogram(result.service_trace)
+
+    certificate = None
+    if args.certify:
+        import dataclasses as _dc
+
+        from .certify.harness import CertificationRun
+        from .certify.strategies import generate_strategies
+
+        strategies = [
+            _dc.replace(s, trials=args.trials)
+            for s in generate_strategies(args.certify, seed=args.seed)
+        ]
+        run = CertificationRun(
+            config=config, engine=args.engine,
+            max_cycles=args.max_cycles, collect_spans=True,
+        )
+        certificate = run.run(args.scheme, strategies)
+        tracer.adopt(run.tracer.records, track="certify")
+
+    comparison = None
+    if args.bench_dir:
+        from . import bench
+
+        entries = bench.ledger_entries(args.bench_dir)
+        if len(entries) >= 2:
+            comparison = bench.compare(entries[-2][1], entries[-1][1])
+        else:
+            print(
+                f"note: {args.bench_dir} holds {len(entries)} ledger "
+                "entries; need 2+ for a bench section",
+                file=sys.stderr,
+            )
+
+    document = render_report(
+        f"{args.scheme} x {args.workload} — run report",
+        registry=telemetry.registry,
+        histograms=histograms,
+        certificate=certificate,
+        span_summary=tracer.summary(),
+        bench_comparison=comparison,
+        metadata={
+            "scheme": args.scheme,
+            "workload": args.workload,
+            "engine": args.engine,
+            "cores": args.cores,
+            "accesses": args.accesses,
+            "seed": args.seed,
+            "cycles": result.cycles,
+        },
+    )
+    write_report(args.output, document)
+    print(f"report: {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all sub-commands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fixed Service memory controllers (MICRO-48 2015) "
                     "— simulation toolkit",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="arm structured JSON-lines logging on stderr at this "
+             "level (default: warning, quiet)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -572,6 +695,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregate the finished grid into a metrics artifact "
              "(JSON; .prom/.txt selects Prometheus text exposition)",
     )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="collect hierarchical spans in every cell and write the "
+             "merged Chrome trace-event JSON (deterministic modulo "
+             "wall-clock args at any --workers count)",
+    )
     _add_common(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -633,11 +762,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-world cycle budget (default 2M)",
     )
     p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="collect per-trial spans and write the merged Chrome "
+             "trace-event JSON",
+    )
+    p.add_argument(
         "--engine", choices=ENGINES, default="reference",
         help="simulation engine for both worlds (default reference)",
     )
     _add_common(p)
     p.set_defaults(func=cmd_certify)
+
+    p = sub.add_parser(
+        "bench", help="performance-regression benchmark ledger"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser(
+        "record",
+        help="run the pinned suite, append BENCH_<n>.json",
+    )
+    b.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="ledger directory (default: current directory)",
+    )
+    b.add_argument(
+        "--accesses", type=int, default=300,
+        help="suite scale: memory accesses per core (default 300)",
+    )
+    b.add_argument(
+        "--cores", type=int, default=4,
+        help="suite scale: cores / security domains (default 4)",
+    )
+    b.add_argument(
+        "--seed", type=int, default=7,
+        help="suite trace seed (default 7)",
+    )
+    b.add_argument(
+        "--label", default="",
+        help="free-form label stored in the entry (e.g. a git sha)",
+    )
+    b.set_defaults(func=cmd_bench_record)
+
+    b = bench_sub.add_parser(
+        "compare",
+        help="diff two ledger entries; exit 1 on regression",
+    )
+    b.add_argument("old", help="baseline BENCH_<n>.json")
+    b.add_argument("new", help="candidate BENCH_<n>.json")
+    b.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="relative move treated as noise (default 0.15, or the "
+             "REPRO_BENCH_TOLERANCE environment variable)",
+    )
+    b.set_defaults(func=cmd_bench_compare)
+
+    p = sub.add_parser(
+        "report", help="self-contained HTML run report"
+    )
+    p.add_argument("scheme", choices=SCHEMES)
+    p.add_argument("workload", help="benchmark or mix name")
+    p.add_argument(
+        "--output", default="report.html", metavar="PATH",
+        help="output HTML path (default report.html)",
+    )
+    p.add_argument(
+        "--certify", type=int, default=0, metavar="N",
+        help="also run N attacker strategies and include the "
+             "certification section (default 0: skip)",
+    )
+    p.add_argument(
+        "--trials", type=int, default=2,
+        help="paired trials per strategy for --certify (default 2)",
+    )
+    p.add_argument(
+        "--max-cycles", type=int, default=2_000_000,
+        help="per-world cycle budget for --certify (default 2M)",
+    )
+    p.add_argument(
+        "--bench-dir", default=None, metavar="DIR",
+        help="benchmark ledger directory; includes the delta between "
+             "its two newest entries",
+    )
+    p.add_argument(
+        "--engine", choices=ENGINES, default="fast",
+        help="simulation engine (default fast)",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_report)
 
     return parser
 
@@ -647,6 +859,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.log_level:
+            from .telemetry import configure
+
+            configure(args.log_level)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)

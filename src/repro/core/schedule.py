@@ -182,7 +182,14 @@ def build_fs_schedule(
         # parts that distance can undercut the same-bank ACT-to-ACT
         # window.  Widen the gap until the wrap-around is safe.
         wrap_gap = -(-solver.same_bank_min_gap() // num_domains)
-        slot_gap = max(slot_gap, wrap_gap)
+        if wrap_gap > slot_gap:
+            # The widened gap skipped the solver's search, so it can
+            # itself collide (e.g. land exactly on tRCD, putting a
+            # column command and the next slot's ACT in one cycle).
+            # Re-check and keep widening until conflict-free.
+            slot_gap = wrap_gap
+            while solver.check(slot_gap, mode, sharing) is not None:
+                slot_gap += 1
     total_slots = num_domains * slots_per_domain
     slots = [
         SlotSpec(index=i, domain=i % num_domains, anchor_offset=i * slot_gap)

@@ -1099,6 +1099,8 @@ class FastSystem(System):
     ``_work`` calls, so every counter matches the reference bit-for-bit.
     """
 
+    engine_name = "fast"
+
     def run(
         self,
         max_cycles: int = 10_000_000,
@@ -1115,9 +1117,12 @@ class FastSystem(System):
         profiler = (
             telemetry.profiler if telemetry is not None else None
         )
-        profile_start = (
-            time.monotonic() if profiler is not None else None
+        tracer = telemetry.tracer if telemetry is not None else None
+        wall_start = (
+            time.monotonic()
+            if profiler is not None or tracer is not None else None
         )
+        profile_start = wall_start
         deadline = (
             time.monotonic() + wall_budget_s
             if wall_budget_s is not None else None
@@ -1232,5 +1237,10 @@ class FastSystem(System):
         if profiler is not None:
             profiler.note_run(
                 clock, time.monotonic() - profile_start
+            )
+        if tracer is not None:
+            tracer.record_engine_run(
+                self.scheme, self.engine_name, clock,
+                wall_seconds=time.monotonic() - wall_start,
             )
         return self._collect(clock)

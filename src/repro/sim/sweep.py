@@ -56,6 +56,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError, ReproError, SchemeError
 from ..schemes import REGISTRY
+from ..telemetry.log import get_logger
 from ..workloads.spec import suite_specs
 from .config import SystemConfig
 from .runner import SchemeOptions, run_scheme
@@ -63,6 +64,8 @@ from .system import RunResult
 
 #: Checkpoint schema version (bump on incompatible change).
 CHECKPOINT_VERSION = 1
+
+_LOG = get_logger("sweep")
 
 
 @dataclass(frozen=True)
@@ -175,10 +178,15 @@ def _sweep_worker(payload: Dict[str, object]) -> Dict[str, object]:
         worker_registry.ensure(spec)
     options = payload.get("options")
     session = None
-    if payload.get("telemetry"):
+    tracer = None
+    if payload.get("telemetry") or payload.get("spans"):
         from ..telemetry.session import TelemetrySession
 
-        session = TelemetrySession()
+        if payload.get("spans"):
+            from ..telemetry.spans import SpanTracer
+
+            tracer = SpanTracer()
+        session = TelemetrySession(tracer=tracer)
         options = dataclasses.replace(
             options if options is not None else SchemeOptions(),
             telemetry=session,
@@ -215,8 +223,12 @@ def _sweep_worker(payload: Dict[str, object]) -> Dict[str, object]:
         "cycles": result.cycles,
         "faults": result.faults,
     }
-    if session is not None:
+    if payload.get("telemetry") and session is not None:
         out["registry"] = session.registry
+    if tracer is not None:
+        # SpanRecord named tuples pickle as plain data; the parent
+        # adopts them in submission order under the cell's track.
+        out["spans"] = tracer.records
     return out
 
 
@@ -234,6 +246,7 @@ class Sweep:
         engine: str = "fast",
         workers: int = 1,
         collect_telemetry: bool = False,
+        collect_spans: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigError(
@@ -263,6 +276,18 @@ class Sweep:
             from ..telemetry.registry import MetricsRegistry
 
             self.cell_registry = MetricsRegistry()
+        #: Collect hierarchical spans: every cell runs under its own
+        #: :class:`~repro.telemetry.spans.SpanTracer` (in-process or
+        #: shipped back from the worker) and is adopted into
+        #: :attr:`tracer` in deterministic submission order, so the
+        #: merged trace is identical at any worker count (modulo
+        #: volatile ``wall_*`` args).
+        self.collect_spans = collect_spans
+        self.tracer = None
+        if collect_spans:
+            from ..telemetry.spans import SpanTracer
+
+            self.tracer = SpanTracer(track="grid")
         #: Wall-clock seconds of the most recent :meth:`run_grid` call
         #: (exported as a *volatile* gauge: never part of determinism
         #: snapshots or checkpoints).
@@ -368,11 +393,16 @@ class Sweep:
         if done is not None:
             return done
         session = None
+        cell_tracer = None
         run_options = options
-        if self.collect_telemetry:
+        if self.collect_telemetry or self.collect_spans:
             from ..telemetry.session import TelemetrySession
 
-            session = TelemetrySession()
+            if self.collect_spans:
+                from ..telemetry.spans import SpanTracer
+
+                cell_tracer = SpanTracer()
+            session = TelemetrySession(tracer=cell_tracer)
             run_options = dataclasses.replace(
                 options if options is not None else SchemeOptions(),
                 telemetry=session,
@@ -391,6 +421,10 @@ class Sweep:
         except Exception as exc:
             if self.strict:
                 raise
+            _LOG.warning("cell failed", extra={
+                "scheme": scheme, "workload": workload, "cores": cores,
+                "error_type": type(exc).__name__, "error": str(exc),
+            })
             self.failed_points.append(FailedPoint(
                 scheme=scheme, workload=workload, cores=cores,
                 label=label, error_type=type(exc).__name__,
@@ -412,10 +446,36 @@ class Sweep:
         )
         self.points.append(point)
         self._completed[key] = point
-        if session is not None and self.cell_registry is not None:
+        if self.collect_telemetry and session is not None and (
+            self.cell_registry is not None
+        ):
             self.cell_registry.merge(session.registry)
+        if cell_tracer is not None:
+            self._adopt_cell_spans(
+                workload, cores, label, cell_tracer.records
+            )
         self._save_checkpoint()
+        _LOG.info("cell done", extra={
+            "scheme": scheme, "workload": workload, "cores": cores,
+            "weighted_ipc": round(point.weighted_ipc, 6),
+            "cycles": point.cycles,
+        })
         return point
+
+    def _adopt_cell_spans(
+        self, workload: str, cores: int, label: str, records
+    ) -> None:
+        """Fold one cell's spans into the grid tracer.
+
+        Called once per completed cell — in cell execution order
+        serially and in submission order by the parallel merge loop,
+        which are the *same* order, so the grid tracer's record
+        sequence (and logical clock) is identical at any worker count.
+        """
+        track = f"{label} x {workload} x {cores}"
+        seq = self.tracer.begin(track, "cell")
+        self.tracer.adopt(records, track=track)
+        self.tracer.end(seq)
 
     # ------------------------------------------------------------------
     # Grid execution (serial or multiprocess).
@@ -463,6 +523,7 @@ class Sweep:
         cores: int,
         options: Optional[SchemeOptions],
         telemetry: bool,
+        spans: bool = False,
     ) -> Dict[str, object]:
         return {
             "spec": spec,
@@ -475,6 +536,7 @@ class Sweep:
             "wall_budget_s": self.point_wall_budget_s,
             "engine": self.engine,
             "telemetry": telemetry,
+            "spans": spans,
         }
 
     def _record_failure(
@@ -489,6 +551,11 @@ class Sweep:
                 f"{outcome['error_type']}: {outcome['error']} "
                 f"(cell {scheme} x {workload} x {cores})"
             )
+        _LOG.warning("cell failed", extra={
+            "scheme": scheme, "workload": workload, "cores": cores,
+            "error_type": str(outcome["error_type"]),
+            "error": str(outcome["error"]),
+        })
         self.failed_points.append(FailedPoint(
             scheme=scheme, workload=workload, cores=cores, label=label,
             error_type=str(outcome["error_type"]),
@@ -558,6 +625,7 @@ class Sweep:
                         self._payload(
                             spec, scheme, workload, c, options=options,
                             telemetry=self.collect_telemetry,
+                            spans=self.collect_spans,
                         ),
                     )
                 except BaseException as exc:  # pool already broken
@@ -606,7 +674,15 @@ class Sweep:
                     self.cell_registry is not None
                 ):
                     self.cell_registry.merge(registry)
+                records = outcome.get("spans")
+                if records is not None and self.tracer is not None:
+                    self._adopt_cell_spans(workload, c, label, records)
                 self._save_checkpoint()
+                _LOG.info("cell done", extra={
+                    "scheme": scheme, "workload": workload, "cores": c,
+                    "weighted_ipc": round(point.weighted_ipc, 6),
+                    "cycles": point.cycles,
+                })
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 
@@ -802,3 +878,22 @@ class Sweep:
                 handle.write("\n")
         finally:
             handle.close()
+
+    def export_trace(self, path: str) -> int:
+        """Write the merged grid span trace as Chrome trace JSON.
+
+        Requires ``collect_spans=True``; returns the span count.  The
+        file's non-volatile content is byte-identical at any worker
+        count (``wall_*`` args are the only difference — strip them
+        with :func:`~repro.telemetry.spans.scrub_volatile_args`).
+        """
+        from ..errors import TelemetryError
+        from ..telemetry.chrome import export_span_trace
+
+        if self.tracer is None:
+            raise TelemetryError(
+                "span trace export requires Sweep(collect_spans=True)"
+            )
+        return export_span_trace(
+            self.tracer, path, metadata={"source": "sweep"}
+        )

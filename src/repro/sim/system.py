@@ -76,6 +76,9 @@ class RunResult:
 class System:
     """One platform instance ready to run."""
 
+    #: Engine label stamped on run spans (overridden by the fast driver).
+    engine_name = "reference"
+
     def __init__(
         self,
         controller: MemoryController,
@@ -134,9 +137,12 @@ class System:
         reads_done = 0
         telemetry = self.telemetry
         profiler = telemetry.profiler if telemetry is not None else None
-        profile_start = (
-            time.monotonic() if profiler is not None else None
+        tracer = telemetry.tracer if telemetry is not None else None
+        wall_start = (
+            time.monotonic()
+            if profiler is not None or tracer is not None else None
         )
+        profile_start = wall_start
         deadline = (
             time.monotonic() + wall_budget_s
             if wall_budget_s is not None else None
@@ -195,6 +201,11 @@ class System:
         if profiler is not None:
             profiler.note_run(
                 clock, time.monotonic() - profile_start
+            )
+        if tracer is not None:
+            tracer.record_engine_run(
+                self.scheme, self.engine_name, clock,
+                wall_seconds=time.monotonic() - wall_start,
             )
         return self._collect(clock)
 

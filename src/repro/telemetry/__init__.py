@@ -21,9 +21,16 @@ Design rules:
   (pinned by ``tests/test_differential.py``).
 """
 
-from .chrome import chrome_trace_dict, export_chrome_trace
+from .chrome import (
+    chrome_trace_dict,
+    export_chrome_trace,
+    export_span_trace,
+    write_trace_dict,
+)
 from .collector import TraceCollector, TraceEvent, open_sink
 from .compat import harvest_run, run_to_registry
+from .html_report import render_report, write_report
+from .log import configure, get_logger, get_run_id, set_run_id
 from .profiler import EngineProfiler
 from .registry import (
     Counter,
@@ -32,6 +39,7 @@ from .registry import (
     Histogram,
     Metric,
     MetricsRegistry,
+    parse_prometheus_text,
 )
 from .report import (
     certification_report,
@@ -41,27 +49,48 @@ from .report import (
     is_degenerate,
 )
 from .session import KIND_NAMES, TelemetrySession
+from .spans import (
+    EPOCH_CYCLES,
+    SpanRecord,
+    SpanTracer,
+    scrub_volatile_args,
+    spans_to_events,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EPOCH_CYCLES",
     "EngineProfiler",
     "Gauge",
     "Histogram",
     "KIND_NAMES",
     "Metric",
     "MetricsRegistry",
+    "SpanRecord",
+    "SpanTracer",
     "TelemetrySession",
     "TraceCollector",
     "TraceEvent",
     "certification_report",
     "chrome_trace_dict",
+    "configure",
     "export_chrome_trace",
+    "export_span_trace",
+    "get_logger",
+    "get_run_id",
     "harvest_run",
     "histogram_report",
     "histogram_to_registry",
     "inter_service_histogram",
     "is_degenerate",
     "open_sink",
+    "parse_prometheus_text",
+    "render_report",
     "run_to_registry",
+    "scrub_volatile_args",
+    "set_run_id",
+    "spans_to_events",
+    "write_report",
+    "write_trace_dict",
 ]

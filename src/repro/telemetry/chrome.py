@@ -88,6 +88,28 @@ def chrome_trace_dict(
     return out
 
 
+def write_trace_dict(
+    payload: Dict[str, object],
+    path_or_file: Union[str, IO[str]],
+) -> None:
+    """Write a built trace dict as canonical (compact, sorted) JSON.
+
+    One serialization for every producer — collector exports, merged
+    span traces — so byte-identity contracts compare a single format.
+    """
+    handle = (
+        open_sink(path_or_file) if isinstance(path_or_file, str)
+        else path_or_file
+    )
+    try:
+        json.dump(payload, handle, indent=None,
+                  separators=(",", ":"), sort_keys=True)
+        handle.write("\n")
+    finally:
+        if isinstance(path_or_file, str):
+            handle.close()
+
+
 def export_chrome_trace(
     collector: TraceCollector,
     path_or_file: Union[str, IO[str]],
@@ -100,18 +122,26 @@ def export_chrome_trace(
     """
     events = collector.events()
     payload = chrome_trace_dict(events, metadata)
-    handle = (
-        open_sink(path_or_file) if isinstance(path_or_file, str)
-        else path_or_file
-    )
-    try:
-        json.dump(payload, handle, indent=None,
-                  separators=(",", ":"), sort_keys=True)
-        handle.write("\n")
-    finally:
-        if isinstance(path_or_file, str):
-            handle.close()
+    write_trace_dict(payload, path_or_file)
     return len(events)
 
 
-__all__ = ["chrome_trace_dict", "export_chrome_trace"]
+def export_span_trace(
+    tracer,
+    path_or_file: Union[str, IO[str]],
+    metadata: Union[Dict[str, object], None] = None,
+) -> int:
+    """Write a :class:`~repro.telemetry.spans.SpanTracer`'s merged span
+    tree as Chrome trace JSON; returns the span count."""
+    events = tracer.to_events()
+    payload = chrome_trace_dict(events, metadata)
+    write_trace_dict(payload, path_or_file)
+    return len(events)
+
+
+__all__ = [
+    "chrome_trace_dict",
+    "export_chrome_trace",
+    "export_span_trace",
+    "write_trace_dict",
+]

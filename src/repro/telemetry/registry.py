@@ -62,6 +62,12 @@ def _escape(value: str) -> str:
     )
 
 
+def _escape_help(value: str) -> str:
+    # Help text escapes only backslash and newline (exposition format
+    # 0.0.4) — quotes stay literal.
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _format_value(value: float) -> str:
     """Prometheus-style number formatting (ints stay ints)."""
     if isinstance(value, bool):  # pragma: no cover - defensive
@@ -116,12 +122,21 @@ class Metric:
             parts.append(extra)
         return "{" + ",".join(parts) + "}" if parts else ""
 
-    def expose(self) -> List[str]:
-        """Prometheus text lines for this family."""
-        lines = []
+    def _help_line(self) -> str:
         if self.help_text:
-            lines.append(f"# HELP {self.name} {self.help_text}")
-        lines.append(f"# TYPE {self.name} {self.kind}")
+            return (
+                f"# HELP {self.name} {_escape_help(self.help_text)}"
+            )
+        return f"# HELP {self.name}"
+
+    def expose(self) -> List[str]:
+        """Prometheus text lines for this family.
+
+        Every family gets its ``# HELP`` and ``# TYPE`` header —
+        including help-less families (bare ``# HELP name``), as the
+        exposition format expects one header pair per family.
+        """
+        lines = [self._help_line(), f"# TYPE {self.name} {self.kind}"]
         for key, value in self.samples():
             lines.append(
                 f"{self.name}{self._labels_text(key)} "
@@ -214,10 +229,7 @@ class Histogram(Metric):
         sample["count"] += 1
 
     def expose(self) -> List[str]:
-        lines = []
-        if self.help_text:
-            lines.append(f"# HELP {self.name} {self.help_text}")
-        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines = [self._help_line(), f"# TYPE {self.name} {self.kind}"]
         for key, sample in self.samples():
             cumulative = 0
             for bound, count in zip(self.bounds, sample["buckets"]):
@@ -441,6 +453,136 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n" if lines else ""
 
 
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ("\\", '"'):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    """Parse the ``k="v",...`` body of a label set (escapes honored)."""
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise TelemetryError(
+                f"malformed label value near {text[i:]!r}"
+            )
+        j = eq + 2
+        raw: List[str] = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\" and j + 1 < len(text):
+                raw.append(text[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise TelemetryError(
+                f"unterminated label value near {text[i:]!r}"
+            )
+        labels[name] = _unescape_label("".join(raw))
+        i = j + 1
+    return labels
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition-format text back into family structures.
+
+    Returns ``{family: {"help": str, "type": str, "samples":
+    [(sample_name, labels_dict, value), ...]}}`` where histogram
+    ``_bucket``/``_sum``/``_count`` samples fold into their family.
+    The promtext round-trip test feeds :meth:`MetricsRegistry.
+    to_prometheus` through this and checks nothing is lost or
+    mis-escaped.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family_for(sample_name: str) -> Dict[str, object]:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and trimmed in families:
+                base = trimmed
+                break
+        return families.setdefault(
+            base, {"help": "", "type": "untyped", "samples": []}
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            entry = families.setdefault(
+                name, {"help": "", "type": "untyped", "samples": []}
+            )
+            entry["help"] = _unescape_label(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            entry = families.setdefault(
+                name, {"help": "", "type": "untyped", "samples": []}
+            )
+            entry["type"] = kind.strip() or "untyped"
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        if "{" in line:
+            brace = line.index("{")
+            sample_name = line[:brace]
+            close = line.rfind("}")
+            if close < brace:
+                raise TelemetryError(
+                    f"unterminated label set in sample {line!r}"
+                )
+            labels = _parse_labels(line[brace + 1:close])
+            value_text = line[close + 1:].strip()
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = {}
+            value_text = value_text.strip()
+        try:
+            value = _parse_number(value_text)
+        except ValueError:
+            raise TelemetryError(
+                f"sample {line!r} has no parseable value"
+            ) from None
+        entry = family_for(sample_name)
+        entry["samples"].append((sample_name, labels, value))
+    return families
+
+
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
@@ -448,4 +590,5 @@ __all__ = [
     "Histogram",
     "Metric",
     "MetricsRegistry",
+    "parse_prometheus_text",
 ]

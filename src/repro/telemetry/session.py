@@ -60,6 +60,10 @@ class TelemetrySession:
     profile:
         Arm an :class:`EngineProfiler`; the fast driver reports stride
         sizes and wall time into it when present.
+    tracer:
+        Optional :class:`~repro.telemetry.spans.SpanTracer`; the engines
+        record run/phase/epoch spans into it when present (same single
+        ``is None`` guard as every other surface).
     """
 
     def __init__(
@@ -67,12 +71,14 @@ class TelemetrySession:
         registry: Optional[MetricsRegistry] = None,
         collector: Optional[TraceCollector] = None,
         profile: bool = False,
+        tracer=None,
     ) -> None:
         self.registry = registry if registry is not None else (
             MetricsRegistry()
         )
         self.collector = collector
         self.profiler = EngineProfiler() if profile else None
+        self.tracer = tracer
         #: id(controller) -> {local domain: global domain} for
         #: composite controllers whose sub-controllers renumber domains.
         self._domain_maps: Dict[int, Dict[int, int]] = {}

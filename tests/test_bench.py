@@ -1,0 +1,236 @@
+"""The benchmark ledger (``repro.bench`` + ``repro bench``).
+
+Pinned contract:
+
+* ``record`` appends monotonically numbered, schema-versioned
+  ``BENCH_<n>.json`` entries carrying the whole pinned suite;
+* ``compare`` passes on identical entries, detects an injected >=20%
+  cycles/s regression (CLI exit 1), never fails on improvements or
+  metrics present in only one entry, and refuses mismatched scales;
+* tolerance resolution: argument > ``REPRO_BENCH_TOLERANCE`` > default.
+"""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.errors import ConfigError, ReproError
+
+# One real suite run per module: the suite simulates three engine
+# cases, a grid, a certification batch, and a cache probe — measured
+# once at a tiny scale and reused by every ledger test below.
+SCALE = dict(accesses=80, cores=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def ledger(tmp_path_factory):
+    root = tmp_path_factory.mktemp("ledger")
+    path = bench.record(str(root), label="seed", **SCALE)
+    return root, path
+
+
+def _clone(ledger_root, src, mutate=None):
+    """Append the next entry as a copy of ``src`` (optionally edited),
+    so compare sees two same-scale entries without re-running the
+    suite."""
+    entries = bench.ledger_entries(str(ledger_root))
+    index = entries[-1][0] + 1
+    data = json.loads(open(src).read())
+    data["index"] = index
+    data["label"] = f"clone-{index}"
+    if mutate:
+        mutate(data)
+    dst = ledger_root / f"BENCH_{index}.json"
+    dst.write_text(json.dumps(data))
+    return str(dst)
+
+
+def test_record_writes_schema_versioned_entry(ledger):
+    root, path = ledger
+    assert path.endswith("BENCH_0.json")
+    entry = bench.load_entry(path)
+    assert entry["schema"] == bench.SCHEMA_VERSION
+    assert entry["suite"] == SCALE
+    names = set(entry["metrics"])
+    assert {
+        "cycles_per_second/fast/fs_rp",
+        "cycles_per_second/fast/baseline",
+        "cycles_per_second/reference/fs_rp",
+        "sweep_cells_per_second",
+        "certify_trials_per_second",
+        "template_cache_hit_rate",
+    } <= names
+    for metric in entry["metrics"].values():
+        assert metric["value"] >= 0
+        assert "unit" in metric and "higher_better" in metric
+
+
+def test_compare_identical_entries_passes(ledger):
+    root, path = ledger
+    clone = _clone(root, path)
+    comparison = bench.compare(path, clone)
+    assert comparison.passed
+    assert all(d.rel_change == 0 for d in comparison.deltas)
+    assert "PASS" in bench.format_comparison(comparison)
+
+
+def test_compare_detects_injected_regression(ledger):
+    root, path = ledger
+
+    def slow_down(data):
+        m = data["metrics"]["cycles_per_second/fast/fs_rp"]
+        m["value"] = round(m["value"] * 0.75, 6)  # -25% > 15% tol
+
+    clone = _clone(root, path, slow_down)
+    comparison = bench.compare(path, clone)
+    assert not comparison.passed
+    assert [d.name for d in comparison.regressions] == \
+        ["cycles_per_second/fast/fs_rp"]
+    assert "REGRESSION" in bench.format_comparison(comparison)
+    # The same move is pure improvement in the other direction.
+    reverse = bench.compare(clone, path)
+    assert reverse.passed
+
+
+def test_compare_missing_metric_never_fails(ledger):
+    root, path = ledger
+
+    def drop(data):
+        del data["metrics"]["template_cache_hit_rate"]
+
+    clone = _clone(root, path, drop)
+    comparison = bench.compare(path, clone)
+    assert comparison.passed
+    assert comparison.missing == ["template_cache_hit_rate"]
+    assert "only one entry" in bench.format_comparison(comparison)
+
+
+def test_compare_refuses_mismatched_scales(ledger):
+    root, path = ledger
+
+    def rescale(data):
+        data["suite"] = dict(data["suite"], accesses=999)
+
+    clone = _clone(root, path, rescale)
+    with pytest.raises(ReproError, match="suite scales"):
+        bench.compare(path, clone)
+
+
+def test_lower_better_direction(ledger, tmp_path):
+    root, path = ledger
+
+    def add_latency(data):
+        data["metrics"]["latency_s"] = {
+            "value": 1.0, "unit": "s", "higher_better": False,
+        }
+
+    base = _clone(root, path, add_latency)
+
+    def worsen(data):
+        add_latency(data)
+        data["metrics"]["latency_s"]["value"] = 2.0  # higher = worse
+
+    worse = _clone(root, path, worsen)
+    comparison = bench.compare(base, worse)
+    assert [d.name for d in comparison.regressions] == ["latency_s"]
+    assert bench.compare(worse, base).passed  # improvement
+
+
+def test_tolerance_resolution(monkeypatch):
+    assert bench.resolve_tolerance() == bench.DEFAULT_TOLERANCE
+    monkeypatch.setenv(bench.TOLERANCE_ENV, "0.5")
+    assert bench.resolve_tolerance() == 0.5
+    assert bench.resolve_tolerance(0.1) == 0.1  # arg wins over env
+    monkeypatch.setenv(bench.TOLERANCE_ENV, "banana")
+    with pytest.raises(ConfigError, match="must be a number"):
+        bench.resolve_tolerance()
+    with pytest.raises(ConfigError, match="non-negative"):
+        bench.resolve_tolerance(-0.1)
+
+
+def test_wide_tolerance_forgives_regression(ledger, monkeypatch):
+    root, path = ledger
+
+    def slow_down(data):
+        m = data["metrics"]["cycles_per_second/fast/fs_rp"]
+        m["value"] = round(m["value"] * 0.75, 6)
+
+    clone = _clone(root, path, slow_down)
+    monkeypatch.setenv(bench.TOLERANCE_ENV, "0.6")
+    assert bench.compare(path, clone).passed
+    assert not bench.compare(path, clone, tolerance=0.05).passed
+
+
+def test_load_entry_rejects_garbage(tmp_path):
+    bad = tmp_path / "BENCH_0.json"
+    bad.write_text("{not json")
+    with pytest.raises(ReproError, match="not valid JSON"):
+        bench.load_entry(str(bad))
+    bad.write_text(json.dumps({"schema": 999, "metrics": {}}))
+    with pytest.raises(ReproError, match="schema"):
+        bench.load_entry(str(bad))
+    bad.write_text(json.dumps({"schema": bench.SCHEMA_VERSION}))
+    with pytest.raises(ReproError, match="metrics"):
+        bench.load_entry(str(bad))
+    with pytest.raises(ReproError, match="cannot read"):
+        bench.load_entry(str(tmp_path / "BENCH_7.json"))
+
+
+def test_record_rejects_bad_scale(tmp_path):
+    with pytest.raises(ConfigError):
+        bench.record(str(tmp_path), accesses=0, cores=2)
+
+
+def test_ledger_numbering_skips_gaps(ledger):
+    root, _ = ledger
+    entries = bench.ledger_entries(str(root))
+    indices = [i for i, _ in entries]
+    assert indices == sorted(indices)
+    assert len(set(indices)) == len(indices)
+
+
+# ---------------------------------------------------------------------
+# CLI surface.
+# ---------------------------------------------------------------------
+
+
+def _cli(argv):
+    from repro.cli import main
+
+    return main(argv)
+
+
+def test_cli_bench_compare_exit_codes(ledger, capsys):
+    root, path = ledger
+    clone = _clone(root, path)
+    assert _cli(["bench", "compare", path, clone]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    def slow_down(data):
+        m = data["metrics"]["cycles_per_second/fast/fs_rp"]
+        m["value"] = round(m["value"] * 0.75, 6)
+
+    worse = _clone(root, path, slow_down)
+    assert _cli(["bench", "compare", path, worse]) == 1
+    assert "FAIL: 1 regression(s)" in capsys.readouterr().out
+    # Mismatched scales are a hard error (exit 2), not a FAIL verdict.
+    def rescale(data):
+        data["suite"] = dict(data["suite"], accesses=999)
+
+    other = _clone(root, path, rescale)
+    assert _cli(["bench", "compare", path, other]) == 2
+    assert "suite scales" in capsys.readouterr().err
+
+
+def test_cli_bench_record_then_compare(tmp_path, capsys):
+    code = _cli([
+        "bench", "record", "--root", str(tmp_path),
+        "--accesses", "60", "--cores", "2", "--label", "cli-seed",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "BENCH_0.json" in out
+    entry = bench.load_entry(str(tmp_path / "BENCH_0.json"))
+    assert entry["label"] == "cli-seed"
+    assert entry["suite"]["accesses"] == 60

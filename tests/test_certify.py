@@ -227,6 +227,37 @@ class TestArtifacts:
         )
         assert serial_path.read_bytes() == parallel_path.read_bytes()
 
+    def test_span_trace_byte_identical_and_passive(self, tmp_path):
+        """Spans armed: the merged certify trace matches across worker
+        counts (modulo ``wall_*``) and the artifact bytes are unchanged
+        vs. a spanless run — capture is a pure side channel."""
+        import io
+
+        from repro.telemetry import scrub_volatile_args
+
+        baseline_path = tmp_path / "bare.jsonl"
+        bare = CertificationRun(config=CFG)
+        bare.export_jsonl(
+            bare.run("fs_rp", BATCH[:3]), str(baseline_path)
+        )
+        traces = {}
+        for workers in (1, 2):
+            run = CertificationRun(
+                config=CFG, workers=workers, collect_spans=True
+            )
+            certificate = run.run("fs_rp", BATCH[:3])
+            out = tmp_path / f"spans{workers}.jsonl"
+            run.export_jsonl(certificate, str(out))
+            assert out.read_bytes() == baseline_path.read_bytes()
+            buf = io.StringIO()
+            exported = run.export_trace(buf)
+            assert exported == len(run.tracer.records) > 0
+            payload = scrub_volatile_args(json.loads(buf.getvalue()))
+            traces[workers] = json.dumps(payload, sort_keys=True)
+            categories = {r.category for r in run.tracer.records}
+            assert {"batch", "trial", "run", "epoch"} <= categories
+        assert traces[1] == traces[2]
+
     def test_artifact_shape(self, tmp_path):
         path = tmp_path / "cert.jsonl"
         run = CertificationRun(config=CFG)

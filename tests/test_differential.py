@@ -167,6 +167,46 @@ def test_metrics_snapshot_equivalent_across_engines(scheme):
 
 
 # ---------------------------------------------------------------------
+# Span tracing stays inert.
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("scheme", ["fs_rp", "baseline"])
+def test_spans_armed_vs_disarmed_identical(scheme, engine):
+    """Arming the span tracer changes no simulated observable: the
+    comparable metrics snapshot and every run observable are
+    byte-identical with and without spans, on both engines — and the
+    armed run actually recorded the engine's span tree."""
+    from repro.telemetry import SpanTracer
+
+    outputs = {}
+    for armed in (False, True):
+        tracer = SpanTracer() if armed else None
+        session = TelemetrySession(
+            collector=TraceCollector(), tracer=tracer
+        )
+        config = SystemConfig(accesses_per_core=100)
+        result = run_scheme(
+            scheme, config, suite_specs("mix1", config.num_cores),
+            SchemeOptions(telemetry=session), engine=engine,
+        )
+        outputs[armed] = (
+            json.dumps(session.registry.snapshot(), sort_keys=True),
+            [e for e in session.collector.events()
+             if e.pid != "queues"],
+            result.cycles,
+            result.service_trace,
+            result.cores,
+        )
+        if armed:
+            categories = {r.category for r in tracer.records}
+            assert {"run", "phase", "epoch"} <= categories
+    assert outputs[True] == outputs[False], \
+        "arming span tracing perturbed the run"
+
+
+# ---------------------------------------------------------------------
 # Certification equivalence.
 # ---------------------------------------------------------------------
 

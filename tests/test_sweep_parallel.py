@@ -95,6 +95,61 @@ class TestWorkerDeterminism:
         assert "sweep_wall_seconds" not in snap
         assert "sweep_workers" not in snap
 
+    def test_span_trace_byte_identical_across_worker_counts(
+        self, tmp_path
+    ):
+        """``--workers 4`` with spans armed merges into the same
+        Chrome trace a serial grid writes, modulo ``wall_*`` args —
+        and arming spans leaves the checkpoint bytes untouched."""
+        import io
+
+        from repro.telemetry import scrub_volatile_args
+
+        traces = {}
+        checkpoints = {}
+        for workers in (1, 4):
+            sweep, ck = _run(
+                tmp_path, f"spans{workers}", workers,
+                collect_spans=True,
+            )
+            buf = io.StringIO()
+            exported = sweep.export_trace(buf)
+            assert exported == len(sweep.tracer.records)
+            assert exported > 0
+            payload = scrub_volatile_args(json.loads(buf.getvalue()))
+            traces[workers] = json.dumps(payload, sort_keys=True)
+            with open(ck, "rb") as handle:
+                checkpoints[workers] = handle.read()
+        assert traces[1] == traces[4], \
+            "merged span trace diverged across worker counts"
+        assert checkpoints[1] == checkpoints[4]
+        # Spans never leak into the checkpoint: a disarmed run's
+        # checkpoint is byte-identical.
+        _, ck_bare = _run(tmp_path, "nospans", 4)
+        with open(ck_bare, "rb") as handle:
+            assert handle.read() == checkpoints[4]
+
+    def test_span_collection_does_not_change_metrics(self, tmp_path):
+        """Spans and telemetry compose: the merged metrics snapshot is
+        unchanged by arming span collection."""
+        bare, _ = _run(
+            tmp_path, "m_bare", 4, collect_telemetry=True,
+        )
+        spanned, _ = _run(
+            tmp_path, "m_spans", 4, collect_telemetry=True,
+            collect_spans=True,
+        )
+        assert bare.metrics_registry().snapshot() == \
+            spanned.metrics_registry().snapshot()
+        assert spanned.tracer.records
+
+    def test_export_trace_requires_collection(self, tmp_path):
+        from repro.errors import TelemetryError
+
+        sweep, _ = _run(tmp_path, "notrace", 1)
+        with pytest.raises(TelemetryError, match="collect_spans"):
+            sweep.export_trace(str(tmp_path / "t.json"))
+
     def test_options_ride_into_workers(self, tmp_path):
         serial, _ = _run(
             tmp_path, "opt_s", 1, schemes=["tp_bp"],

@@ -254,6 +254,233 @@ def test_prometheus_exposition_format():
     assert "lat_sum 1.5" in text and "lat_count 1" in text
 
 
+def test_prometheus_every_family_has_help_and_type():
+    """Exposition-format conformance: each family leads with exactly
+    one ``# HELP`` and one ``# TYPE`` line, in that order."""
+    session = TelemetrySession(profile=True)
+    result, controller = _run(
+        "fs_bp", SchemeOptions(telemetry=session), accesses=40
+    )
+    session.harvest(result, controller)
+    text = session.registry.to_prometheus()
+    families = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith("# TYPE "):
+            name = line.split()[2]
+            families.append(name)
+            prev = lines[i - 1] if i else ""
+            assert prev.startswith(f"# HELP {name}"), name
+    assert families, "no families exposed"
+    assert len(families) == len(set(families))
+
+
+def test_prometheus_label_escaping_round_trip():
+    from repro.telemetry import parse_prometheus_text
+
+    registry = MetricsRegistry()
+    nasty = 'back\\slash "quoted"\nnewline'
+    registry.counter(
+        "odd_labels_total", 'help with "quotes" and \\slashes',
+        ("path",),
+    ).inc(2, path=nasty)
+    registry.gauge("bare", "").set(1.5)  # empty help: bare # HELP line
+    registry.histogram("h", "hist", buckets=(1,)).observe(0.5)
+    text = registry.to_prometheus()
+    assert '\\"quoted\\"' in text and "\\n" in text
+    parsed = parse_prometheus_text(text)
+    assert parsed["odd_labels_total"]["type"] == "counter"
+    assert parsed["odd_labels_total"]["help"] == \
+        'help with "quotes" and \\slashes'
+    ((sample_name, labels, value),) = \
+        parsed["odd_labels_total"]["samples"]
+    assert labels == {"path": nasty}  # escaping survived the trip
+    assert value == 2
+    assert parsed["bare"]["samples"] == [("bare", {}, 1.5)]
+    # Histogram series fold back into one family.
+    sample_names = {s[0] for s in parsed["h"]["samples"]}
+    assert {"h_bucket", "h_sum", "h_count"} <= sample_names
+
+
+def test_prometheus_parse_round_trips_whole_run():
+    """Parsing a full run's exposition recovers every family and every
+    sample value — the conformance gate for external scrapers."""
+    from repro.telemetry import parse_prometheus_text
+
+    session = TelemetrySession(profile=True)
+    result, controller = _run(
+        "fs_bp", SchemeOptions(telemetry=session), accesses=40
+    )
+    session.harvest(result, controller)
+    registry = session.registry
+    parsed = parse_prometheus_text(registry.to_prometheus())
+    exposed = {m.name for m in registry.metrics()}
+    assert set(parsed) == exposed
+    svc = registry.get("service_events_total")
+    expected = {
+        tuple(key): value for key, value in svc.samples()
+    }
+    got = {
+        tuple(labels[n] for n in ("domain", "kind")): value
+        for _, labels, value in
+        parsed["service_events_total"]["samples"]
+    }
+    assert got == {
+        tuple(str(part) for part in key): value
+        for key, value in expected.items()
+    }
+
+
+def test_prometheus_parse_rejects_malformed():
+    from repro.telemetry import parse_prometheus_text
+
+    with pytest.raises(TelemetryError):
+        parse_prometheus_text('x{unterminated="v\n')
+    with pytest.raises(TelemetryError):
+        parse_prometheus_text("lonely_number_is_not_a_sample\n")
+
+
+# ---------------------------------------------------------------------
+# Structured logging (satellite: repro.telemetry.log).
+# ---------------------------------------------------------------------
+
+
+def _capture_log(level="INFO"):
+    import logging
+
+    from repro.telemetry.log import JsonLineFormatter
+
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    old_level = root.level
+    root.setLevel(level)
+    return stream, handler, old_level
+
+
+def _release_log(handler, old_level):
+    import logging
+
+    root = logging.getLogger("repro")
+    root.removeHandler(handler)
+    root.setLevel(old_level)
+
+
+def test_structured_logger_emits_json_lines():
+    from repro.telemetry import get_logger, get_run_id
+
+    stream, handler, old = _capture_log()
+    try:
+        log = get_logger("unit")
+        log.info("cell done", extra={
+            "scheme": "fs_rp", "cycles": 123,
+            "unserializable": object(),
+        })
+    finally:
+        _release_log(handler, old)
+    line = json.loads(stream.getvalue().strip())
+    assert line["logger"] == "repro.unit"
+    assert line["level"] == "INFO"
+    assert line["msg"] == "cell done"
+    assert line["scheme"] == "fs_rp" and line["cycles"] == 123
+    assert line["run_id"] == get_run_id()
+    assert "object object" in line["unserializable"]  # repr fallback
+
+
+def test_run_id_correlates_and_pins():
+    from repro.telemetry import get_run_id, set_run_id
+
+    original = get_run_id()
+    assert get_run_id() == original  # stable within the process
+    try:
+        set_run_id("deadbeef0123")
+        assert get_run_id() == "deadbeef0123"
+    finally:
+        set_run_id(original)
+
+
+def test_configure_levels_and_rejects_unknown():
+    import logging
+
+    from repro.telemetry import configure
+
+    root = logging.getLogger("repro")
+    old = root.level
+    try:
+        configure("debug")
+        assert root.level == logging.DEBUG
+        with pytest.raises(TelemetryError, match="unknown log level"):
+            configure("chatty")
+    finally:
+        root.setLevel(old)
+
+
+def test_sweep_logs_cells_with_run_id():
+    """The sweep executor reports each finished cell as JSON."""
+    from repro.sim.sweep import Sweep
+
+    stream, handler, old = _capture_log()
+    try:
+        sweep = Sweep(_small_config(), max_cycles=2_000_000)
+        sweep.run_grid(["fs_bp"], ["mix1"])
+    finally:
+        _release_log(handler, old)
+    lines = [json.loads(l) for l in stream.getvalue().splitlines()]
+    cells = [l for l in lines if l["msg"] == "cell done"]
+    assert len(cells) == 1
+    assert cells[0]["logger"] == "repro.sweep"
+    assert cells[0]["scheme"] == "fs_bp"
+    assert cells[0]["cycles"] > 0
+    assert len({l["run_id"] for l in lines}) == 1
+
+
+def test_log_duration_context():
+    from repro.telemetry import get_logger
+    from repro.telemetry.log import log_duration
+
+    stream, handler, old = _capture_log()
+    try:
+        log = get_logger("unit")
+        with log_duration(log, "timed", phase="x"):
+            pass
+        with pytest.raises(ValueError):
+            with log_duration(log, "failed"):
+                raise ValueError("boom")
+    finally:
+        _release_log(handler, old)
+    ok, bad = [json.loads(l) for l in stream.getvalue().splitlines()]
+    assert ok["msg"] == "timed" and ok["wall_s"] >= 0
+    assert ok["phase"] == "x"
+    assert bad["level"] == "WARNING" and bad["outcome"] == "error"
+
+
+def test_cli_log_level_flag():
+    """``--log-level info`` raises the shared level for the whole
+    invocation, so executor progress lines actually emit."""
+    import logging
+
+    root = logging.getLogger("repro")
+    old = root.level
+    root.setLevel(logging.WARNING)  # the quiet default
+    stream, handler, _ = _capture_log(level="WARNING")
+    try:
+        code = _cli([
+            "--log-level", "info", "sweep", "--schemes", "fs_bp",
+            "--workloads", "mix1", "--cores", "2", "--accesses", "40",
+        ])
+        assert code == 0
+        assert root.level == logging.INFO  # the flag took effect
+    finally:
+        _release_log(handler, old)
+    cell_lines = [
+        json.loads(l) for l in stream.getvalue().splitlines()
+        if '"cell done"' in l
+    ]
+    assert cell_lines and cell_lines[0]["scheme"] == "fs_bp"
+
+
 # ---------------------------------------------------------------------
 # Collector behaviour.
 # ---------------------------------------------------------------------
