@@ -30,6 +30,9 @@ Packages:
 * :mod:`repro.schemes` — the declarative scheme registry: picklable
   :class:`~repro.schemes.SchemeSpec` descriptions interpreted by
   family builders (register one spec, run it everywhere).
+* :mod:`repro.exec` — the deterministic execution substrate: one
+  spawn-pool / checkpoint / submission-order-merge recipe shared by
+  parallel sweeps, certification batches, and the benchmark suite.
 * :mod:`repro.sim` — system wiring and experiment runner.
 * :mod:`repro.analysis` — non-interference checks, covert channels,
   metrics, reporting.
@@ -39,6 +42,7 @@ Packages:
 
 from .errors import (
     ConfigError,
+    ExecError,
     FaultInjectionError,
     ReproError,
     ScheduleViolationError,
@@ -115,7 +119,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ReproError", "ConfigError", "TraceError",
     "ScheduleViolationError", "FaultInjectionError", "SimTimeoutError",
-    "TelemetryError",
+    "ExecError", "TelemetryError",
     "MetricsRegistry", "TelemetrySession", "TraceCollector",
     "export_chrome_trace",
     "DDR3_1600_X4", "DramSystem", "TimingChecker", "TimingParams",

@@ -29,6 +29,14 @@ tolerance is 15% (override per invocation or via the
 floor there).  Only *regressions* beyond tolerance fail; improvements
 and deterministic metrics moving within tolerance are reported but
 pass.
+
+The suite itself runs on the execution substrate (:mod:`repro.exec`),
+like every other batch in the repository: ``workers=N`` fans the cases
+over spawn-started processes (each case's throughput is still measured
+inside its own process, but co-running cases share the machine — use
+workers for wall-clock of the whole suite, serial for the least noisy
+per-case numbers), and a ``checkpoint`` path makes a killed suite
+resume without re-running finished cases.
 """
 
 from __future__ import annotations
@@ -42,11 +50,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .errors import ConfigError, ReproError
+from .errors import ConfigError, ExecError, ReproError
+from .exec import CheckpointStore, JobSpec, run_jobs
 from .telemetry.log import get_logger
 
 #: Ledger entry schema version (bump on incompatible change).
 SCHEMA_VERSION = 1
+
+#: Suite checkpoint schema version (bump on incompatible change).
+CHECKPOINT_VERSION = 1
 
 #: Default relative regression tolerance (15%): generous enough for
 #: shared-runner noise, tight enough to catch a real >=20% regression.
@@ -229,19 +241,117 @@ def _template_cache_case(
     )]
 
 
-def run_suite(
-    accesses: int = 300, cores: int = 4, seed: int = 7
-) -> List[BenchMetric]:
-    """Run the pinned suite and return its metrics (suite order)."""
-    metrics: List[BenchMetric] = []
+# -- substrate adapters (module level: spawn-picklable) -----------------
+
+def _engine_case_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Substrate job wrapping :func:`_engine_case`."""
+    return _case_value(_engine_case(
+        payload["engine"], payload["scheme"], payload["accesses"],
+        payload["cores"], payload["seed"],
+    ))
+
+
+def _sweep_case_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Substrate job wrapping :func:`_sweep_case`."""
+    return _case_value(_sweep_case(
+        payload["accesses"], payload["cores"], payload["seed"]
+    ))
+
+
+def _certify_case_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Substrate job wrapping :func:`_certify_case`."""
+    return _case_value(_certify_case(
+        payload["accesses"], payload["cores"], payload["seed"]
+    ))
+
+
+def _template_cache_case_job(
+    payload: Dict[str, object]
+) -> Dict[str, object]:
+    """Substrate job wrapping :func:`_template_cache_case`."""
+    return _case_value(_template_cache_case(
+        payload["accesses"], payload["cores"], payload["seed"]
+    ))
+
+
+def _case_value(metrics: List[BenchMetric]) -> Dict[str, object]:
+    """A case's metrics as the plain-data job value (checkpointable)."""
+    return {"metrics": [dataclasses.asdict(m) for m in metrics]}
+
+
+def _suite_jobs(
+    accesses: int, cores: int, seed: int
+) -> List[JobSpec]:
+    """The pinned suite as substrate jobs, in suite order."""
+    base = {"accesses": accesses, "cores": cores, "seed": seed}
+    jobs: List[JobSpec] = []
     for engine, scheme in ENGINE_CASES:
-        metrics.extend(
-            _engine_case(engine, scheme, accesses, cores, seed)
-        )
-    metrics.extend(_sweep_case(accesses, cores, seed))
-    metrics.extend(_certify_case(accesses, cores, seed))
-    metrics.extend(_template_cache_case(accesses, cores, seed))
-    return metrics
+        jobs.append(JobSpec(
+            key=f"engine/{engine}/{scheme}", fn=_engine_case_job,
+            payload=dict(base, engine=engine, scheme=scheme),
+        ))
+    jobs.append(JobSpec(key="sweep", fn=_sweep_case_job,
+                        payload=dict(base)))
+    jobs.append(JobSpec(key="certify", fn=_certify_case_job,
+                        payload=dict(base)))
+    jobs.append(JobSpec(key="template_cache",
+                        fn=_template_cache_case_job,
+                        payload=dict(base)))
+    return jobs
+
+
+def run_suite(
+    accesses: int = 300,
+    cores: int = 4,
+    seed: int = 7,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    fresh: bool = False,
+) -> List[BenchMetric]:
+    """Run the pinned suite and return its metrics (suite order).
+
+    One substrate batch: ``workers=N`` fans the cases over processes,
+    ``checkpoint`` resumes a killed suite without re-running finished
+    cases (keyed on the suite scale, so a checkpoint from a different
+    scale is discarded), ``fresh`` deliberately discards any existing
+    checkpoint.  A failing case fails the whole suite — a performance
+    ledger with silently missing numbers would be worse than no entry.
+    """
+    jobs = _suite_jobs(accesses, cores, seed)
+    store = CheckpointStore(
+        checkpoint, CHECKPOINT_VERSION,
+        batch_key=json.dumps(
+            {"accesses": accesses, "cores": cores, "seed": seed},
+            sort_keys=True,
+        ),
+        fresh=fresh, tmp_prefix=".bench-ckpt-",
+    )
+    completed: Dict[str, List[Dict[str, object]]] = {}
+    data = store.load()
+    if data is not None:
+        for key, metrics in data.get("cases", {}).items():
+            completed[str(key)] = metrics
+
+    def merge(job, result, _aux):
+        if not result.ok:
+            if result.exception is not None:
+                raise result.exception
+            raise ExecError(
+                f"bench case {job.key!r} failed: "
+                f"{result.error_type}: {result.error}"
+            )
+        completed[job.key] = result.value["metrics"]
+        store.save({"cases": completed})
+
+    run_jobs(
+        jobs, merge, workers=workers,
+        skip=lambda job: job.key in completed,
+    )
+    return [
+        BenchMetric(**raw)
+        for job in jobs
+        for raw in completed[job.key]
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -288,19 +398,26 @@ def record(
     cores: int = 4,
     seed: int = 7,
     label: str = "",
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    fresh: bool = False,
 ) -> str:
     """Run the suite and append the next ``BENCH_<n>.json``.
 
     Returns the written path.  The entry is self-describing: schema
     version, suite scale (so entries at different scales are never
     silently compared — :func:`compare` refuses), platform fingerprint,
-    and one named metric table.
+    and one named metric table.  ``workers``, ``checkpoint``, and
+    ``fresh`` pass through to :func:`run_suite`.
     """
     if accesses < 1 or cores < 1:
         raise ConfigError(
             "bench suite needs accesses >= 1 and cores >= 1"
         )
-    metrics = run_suite(accesses=accesses, cores=cores, seed=seed)
+    metrics = run_suite(
+        accesses=accesses, cores=cores, seed=seed, workers=workers,
+        checkpoint=checkpoint, fresh=fresh,
+    )
     entries = ledger_entries(root)
     index = entries[-1][0] + 1 if entries else 0
     path = os.path.join(root, f"BENCH_{index}.json")
@@ -435,6 +552,7 @@ __all__ = [
     "BenchComparison",
     "BenchDelta",
     "BenchMetric",
+    "CHECKPOINT_VERSION",
     "DEFAULT_TOLERANCE",
     "ENGINE_CASES",
     "SCHEMA_VERSION",

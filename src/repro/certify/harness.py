@@ -12,26 +12,35 @@ does; the harness checks that claim three ways (exact match, bias-
 corrected MI upper bound, channel capacity — see
 :mod:`repro.certify.estimators`).
 
-Batches fan out over the same spawn-started process pool the parallel
-sweep executor uses (:func:`repro.sim.sweep.worker_pool`): strategies
+Batches execute on the shared substrate (:mod:`repro.exec`): strategies
 are picklable data, every verdict is a pure function of (scheme spec,
-strategy, config, engine), and results merge in submission order — so a
-``workers=4`` certification writes a byte-identical artifact to a
-serial run, and a killed batch resumes from its JSON checkpoint.
+strategy, config, engine), and the substrate merges results in
+submission order — so a ``workers=4`` certification writes a
+byte-identical artifact to a serial run, and a killed batch resumes
+from its JSON checkpoint.  Security analysis deliberately depends on
+nothing inside :mod:`repro.sim` beyond the runner's public surface (CI
+greps the layering).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import os
-import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.leakage import victim_view
 from ..errors import ConfigError, SchemeError
+from ..exec import (
+    SPANS_KEY,
+    CheckpointStore,
+    JobResult,
+    JobSpec,
+    adopt_spans,
+    run_jobs,
+    validate_workers,
+)
 from ..schemes import REGISTRY, SchemeSpec
 from ..sim.config import SystemConfig
 from ..sim.runner import SchemeOptions
@@ -257,8 +266,8 @@ def certify_strategy(
     )
 
 
-def _failure_verdict(
-    strategy: AttackerStrategy, exc: BaseException
+def _error_verdict(
+    strategy: AttackerStrategy, error_type: str, error: str
 ) -> StrategyVerdict:
     """An errored experiment can never certify: worst-case values."""
     return StrategyVerdict(
@@ -272,9 +281,16 @@ def _failure_verdict(
         mi_upper_bits=float("inf"),
         capacity_bits=float("nan"),
         passed=False,
-        error_type=type(exc).__name__,
-        error=str(exc),
+        error_type=error_type,
+        error=error,
     )
+
+
+def _failure_verdict(
+    strategy: AttackerStrategy, exc: BaseException
+) -> StrategyVerdict:
+    """:func:`_error_verdict` from a live exception."""
+    return _error_verdict(strategy, type(exc).__name__, str(exc))
 
 
 # ----------------------------------------------------------------------
@@ -317,9 +333,10 @@ def _certify_worker(payload: Dict[str, object]) -> Dict[str, object]:
         verdict = _failure_verdict(strategy, exc)
     out = verdict.to_json_dict()
     if tracer is not None:
-        # Side-channel key: the parent pops it before checkpointing so
+        # The substrate's reserved side channel: popped off the result
+        # before the merge (and thus the checkpoint) sees it, so
         # checkpoint/artifact bytes are untouched by span capture.
-        out["_spans"] = tracer.records
+        out[SPANS_KEY] = tracer.records
     return out
 
 
@@ -330,13 +347,15 @@ def _verdict_from_dict(raw: Dict[str, object]) -> StrategyVerdict:
 class CertificationRun:
     """Execute a strategy batch against one scheme and aggregate.
 
-    Mirrors :class:`~repro.sim.sweep.Sweep`'s execution contract:
+    One batch is one substrate call (:func:`repro.exec.run_jobs`):
     ``workers=1`` runs in-process, ``workers=N`` fans strategies over
-    :func:`~repro.sim.sweep.worker_pool` with submission-order merging
+    spawn-started processes with submission-order merging
     (byte-identical artifacts at any worker count), an optional JSON
     checkpoint makes a killed batch resume without re-simulating
     finished strategies, and ``budget_s`` bounds the wall clock — past
     it, remaining strategies are recorded as skipped rather than run.
+    ``fresh=True`` deliberately discards any existing checkpoint (the
+    CLI's ``--fresh`` escape hatch for a corrupt file).
     """
 
     def __init__(
@@ -350,9 +369,9 @@ class CertificationRun:
         checkpoint: Optional[str] = None,
         budget_s: Optional[float] = None,
         collect_spans: bool = False,
+        fresh: bool = False,
     ) -> None:
-        if workers < 1:
-            raise ConfigError(f"workers must be >= 1, got {workers}")
+        validate_workers(workers)
         if epsilon_bits < 0:
             raise ConfigError(
                 f"epsilon must be non-negative, got {epsilon_bits}"
@@ -366,6 +385,7 @@ class CertificationRun:
         self.bootstrap_resamples = bootstrap_resamples
         self.workers = workers
         self.checkpoint = checkpoint
+        self.fresh = fresh
         self.budget_s = budget_s
         #: Wall clock of the last :meth:`run` (volatile; never part of
         #: checkpoints or artifacts).
@@ -396,43 +416,31 @@ class CertificationRun:
             "config": repr(self.config),
         }, sort_keys=True)
 
+    def _checkpoint_store(self, scheme: str) -> CheckpointStore:
+        """The substrate store for this batch's checkpoint file.
+
+        Batch-keyed: a checkpoint written for a different experiment
+        (scheme, engine, epsilon, config, ...) is discarded rather than
+        resumed into wrong verdicts.
+        """
+        return CheckpointStore(
+            self.checkpoint, CHECKPOINT_VERSION,
+            batch_key=self._batch_key(scheme), fresh=self.fresh,
+            tmp_prefix=".certify-ckpt-",
+        )
+
     def _load_checkpoint(self, scheme: str) -> None:
         self._completed = {}
-        if self.checkpoint is None or not os.path.exists(
-            self.checkpoint
-        ):
+        data = self._checkpoint_store(scheme).load()
+        if data is None:
             return
-        with open(self.checkpoint) as handle:
-            data = json.load(handle)
-        if data.get("version") != CHECKPOINT_VERSION:
-            return
-        if data.get("batch_key") != self._batch_key(scheme):
-            return  # different experiment: start fresh
         for raw in data.get("verdicts", []):
             self._completed[str(raw["strategy"])] = raw
 
     def _save_checkpoint(self, scheme: str) -> None:
-        if self.checkpoint is None:
-            return
-        data = {
-            "version": CHECKPOINT_VERSION,
-            "batch_key": self._batch_key(scheme),
+        self._checkpoint_store(scheme).save({
             "verdicts": list(self._completed.values()),
-        }
-        directory = os.path.dirname(os.path.abspath(self.checkpoint))
-        fd, tmp_path = tempfile.mkstemp(
-            dir=directory, prefix=".certify-ckpt-"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle, indent=1)
-            os.replace(tmp_path, self.checkpoint)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        })
 
     # -- execution ------------------------------------------------------
 
@@ -451,22 +459,6 @@ class CertificationRun:
             "bootstrap_resamples": self.bootstrap_resamples,
             "spans": self.collect_spans,
         }
-
-    def _absorb(
-        self, strategy_name: str, raw: Dict[str, object]
-    ) -> Dict[str, object]:
-        """Strip shipped spans from a worker result and adopt them.
-
-        Must run before the verdict dict is checkpointed: span capture
-        never changes checkpoint or artifact bytes.
-        """
-        records = raw.pop("_spans", None)
-        if records is not None and self.tracer is not None:
-            track = f"strategy {strategy_name}"
-            seq = self.tracer.begin(track, "batch")
-            self.tracer.adopt(records, track=track)
-            self.tracer.end(seq)
-        return raw
 
     def run(
         self,
@@ -488,12 +480,26 @@ class CertificationRun:
                 "strategy names must be unique within a batch"
             )
         self._load_checkpoint(scheme)
+        skipped: List[str] = []
+        jobs = [
+            JobSpec(
+                key=strategy.name, fn=_certify_worker,
+                payload=self._payload(spec, scheme, strategy),
+            )
+            for strategy in strategies
+        ]
         start = time.monotonic()
         try:
-            if self.workers <= 1:
-                skipped = self._run_serial(spec, scheme, strategies)
-            else:
-                skipped = self._run_parallel(spec, scheme, strategies)
+            run_jobs(
+                jobs,
+                lambda job, result, _aux: self._merge_verdict(
+                    scheme, job, result
+                ),
+                workers=self.workers,
+                skip=lambda job: job.key in self._completed,
+                budget_s=self.budget_s,
+                on_budget_skip=lambda job: skipped.append(job.key),
+            )
         finally:
             self.last_wall_s = time.monotonic() - start
         verdicts = tuple(
@@ -509,83 +515,37 @@ class CertificationRun:
             skipped=tuple(skipped),
         )
 
-    def _out_of_budget(self, start: float) -> bool:
-        return (
-            self.budget_s is not None
-            and time.monotonic() - start > self.budget_s
-        )
+    def _merge_verdict(
+        self, scheme: str, job: JobSpec, result: JobResult
+    ) -> None:
+        """Fold one strategy outcome into the batch (submission order).
 
-    def _run_serial(
-        self, spec, scheme: str,
-        strategies: Sequence[AttackerStrategy],
-    ) -> List[str]:
-        start = time.monotonic()
-        skipped: List[str] = []
-        for strategy in strategies:
-            if strategy.name in self._completed:
-                continue
-            if self._out_of_budget(start):
-                skipped.append(strategy.name)
-                continue
-            raw = self._absorb(strategy.name, _certify_worker(
-                self._payload(spec, scheme, strategy)
-            ))
-            self._completed[strategy.name] = raw
-            self._save_checkpoint(scheme)
-            _LOG.info("strategy done", extra={
-                "scheme": scheme, "strategy": strategy.name,
-                "passed": raw.get("passed"),
-            })
-        return skipped
-
-    def _run_parallel(
-        self, spec, scheme: str,
-        strategies: Sequence[AttackerStrategy],
-    ) -> List[str]:
-        from ..sim.sweep import worker_pool
-
-        start = time.monotonic()
-        skipped: List[str] = []
-        pool = worker_pool(self.workers)
-        futures = {}
-        try:
-            for strategy in strategies:
-                if strategy.name in self._completed:
-                    continue
-                if self._out_of_budget(start):
-                    skipped.append(strategy.name)
-                    continue
-                futures[strategy.name] = pool.submit(
-                    _certify_worker,
-                    self._payload(spec, scheme, strategy),
-                )
-            # Merge in submission order: artifacts and checkpoints are
-            # byte-identical to a serial run at any worker count.
-            for strategy in strategies:
-                future = futures.get(strategy.name)
-                if future is None:
-                    continue
-                try:
-                    raw = future.result()
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                except BaseException as exc:
-                    # A hard worker death (segfault, OOM-kill) is
-                    # isolated per strategy; finished ones stay
-                    # checkpointed and the batch resumes cleanly.
-                    raw = _failure_verdict(
-                        strategy, exc
-                    ).to_json_dict()
-                raw = self._absorb(strategy.name, raw)
-                self._completed[strategy.name] = raw
-                self._save_checkpoint(scheme)
-                _LOG.info("strategy done", extra={
-                    "scheme": scheme, "strategy": strategy.name,
-                    "passed": raw.get("passed"),
-                })
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-        return skipped
+        A failed :class:`~repro.exec.JobResult` here can only be a hard
+        worker death (``_certify_worker`` converts its own exceptions to
+        failure verdicts — that is domain semantics, not plumbing); it
+        is isolated into an error verdict, finished strategies stay
+        checkpointed, and the batch resumes cleanly.  Shipped spans are
+        adopted before the verdict is checkpointed: span capture never
+        changes checkpoint or artifact bytes.
+        """
+        strategy: AttackerStrategy = job.payload["strategy"]
+        if result.ok:
+            raw = result.value
+        else:
+            raw = _error_verdict(
+                strategy, result.error_type, result.error
+            ).to_json_dict()
+        if result.spans is not None and self.tracer is not None:
+            adopt_spans(
+                self.tracer, f"strategy {strategy.name}", "batch",
+                result.spans,
+            )
+        self._completed[strategy.name] = raw
+        self._save_checkpoint(scheme)
+        _LOG.info("strategy done", extra={
+            "scheme": scheme, "strategy": strategy.name,
+            "passed": raw.get("passed"),
+        })
 
     # -- export ---------------------------------------------------------
 

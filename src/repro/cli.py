@@ -59,6 +59,36 @@ from .sim.sweep import Sweep
 from .workloads.spec import EVALUATION_SUITE, suite_specs, workload
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--workers``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {text!r}"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {text!r}"
+        )
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    """argparse type for budgets/tolerances: a number >= 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number >= 0, got {text!r}"
+        )
+    if not value >= 0:  # rejects negatives and NaN alike
+        raise argparse.ArgumentTypeError(
+            f"expected a number >= 0, got {text!r}"
+        )
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--accesses", type=int, default=1000,
@@ -345,6 +375,7 @@ def cmd_sweep(args) -> int:
         workers=args.workers,
         engine=args.engine,
         collect_spans=bool(args.trace),
+        fresh=args.fresh,
     )
     sweep.run_grid(args.schemes, args.workloads)
     rows = [
@@ -412,6 +443,7 @@ def cmd_certify(args) -> int:
         checkpoint=args.checkpoint,
         budget_s=args.budget,
         collect_spans=bool(args.trace),
+        fresh=args.fresh,
     )
     artifact_handle = None
     metrics = None
@@ -468,6 +500,9 @@ def cmd_bench_record(args) -> int:
         cores=args.cores,
         seed=args.seed,
         label=args.label,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        fresh=args.fresh,
     )
     print(f"recorded: {path}")
     return 0
@@ -677,13 +712,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "the last completed cell")
     p.add_argument("--max-cycles", type=int, default=8_000_000,
                    help="per-cell cycle budget")
-    p.add_argument("--wall-budget", type=float, default=None,
+    p.add_argument("--fresh", action="store_true",
+                   help="discard any existing checkpoint instead of "
+                        "resuming (escape hatch for corrupt files)")
+    p.add_argument("--wall-budget", type=_nonneg_float, default=None,
                    metavar="SECONDS",
                    help="per-cell wall-clock budget; a cell exceeding "
                         "it is recorded as failed instead of hanging")
     p.add_argument("--strict", action="store_true",
                    help="re-raise the first cell failure (CI gate)")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for the grid (default 1; "
                         "results are bit-identical at any count)")
     p.add_argument(
@@ -733,12 +771,12 @@ def build_parser() -> argparse.ArgumentParser:
              "bits (default 0.01)",
     )
     p.add_argument(
-        "--budget", type=float, default=None, metavar="SECONDS",
+        "--budget", type=_nonneg_float, default=None, metavar="SECONDS",
         help="wall-clock budget per scheme batch; strategies past it "
              "are recorded as skipped instead of run",
     )
     p.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_positive_int, default=1,
         help="worker processes for the batch (default 1; the "
              "artifact is byte-identical at any count)",
     )
@@ -746,6 +784,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint", default=None, metavar="PATH",
         help="JSON checkpoint; a killed batch resumes without "
              "re-running finished strategies (single-scheme runs)",
+    )
+    p.add_argument(
+        "--fresh", action="store_true",
+        help="discard any existing checkpoint instead of resuming "
+             "(escape hatch for corrupt files)",
     )
     p.add_argument(
         "--artifact", default=None, metavar="PATH",
@@ -802,6 +845,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--label", default="",
         help="free-form label stored in the entry (e.g. a git sha)",
     )
+    b.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes for the suite (default 1; the "
+             "recorded deterministic metrics are identical at any "
+             "count, wall-clock-derived ones are noisier)",
+    )
+    b.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="JSON checkpoint; a killed suite resumes without "
+             "re-running finished cases",
+    )
+    b.add_argument(
+        "--fresh", action="store_true",
+        help="discard any existing checkpoint instead of resuming "
+             "(escape hatch for corrupt files)",
+    )
     b.set_defaults(func=cmd_bench_record)
 
     b = bench_sub.add_parser(
@@ -811,7 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("old", help="baseline BENCH_<n>.json")
     b.add_argument("new", help="candidate BENCH_<n>.json")
     b.add_argument(
-        "--tolerance", type=float, default=None, metavar="FRAC",
+        "--tolerance", type=_nonneg_float, default=None, metavar="FRAC",
         help="relative move treated as noise (default 0.15, or the "
              "REPRO_BENCH_TOLERANCE environment variable)",
     )

@@ -23,6 +23,11 @@ genuine bug in the simulator:
   budget; sweeps record these and move on instead of aborting the grid.
 * :class:`TelemetryError` — the observability layer was misused (metric
   re-registered with a different shape, unwritable trace/metrics sink).
+* :class:`ExecError` — the execution substrate (:mod:`repro.exec`) hit a
+  state it must not repair silently, e.g. an unparseable (truncated or
+  corrupt) checkpoint file.  Deliberately distinct from a merely
+  *incompatible* checkpoint, which every consumer treats as "start
+  fresh".
 
 ``ConfigError`` and ``TraceError`` also subclass :class:`ValueError` so
 pre-existing callers that caught ``ValueError`` keep working.
@@ -102,6 +107,21 @@ class SimTimeoutError(ReproError):
         self.cycle = cycle
 
 
+class ExecError(ReproError):
+    """The execution substrate refused to proceed.
+
+    Raised by :mod:`repro.exec` when continuing would silently lose or
+    corrupt experiment state — today that means a checkpoint file that
+    exists but cannot be parsed (truncated write, disk corruption,
+    hand-editing gone wrong).  A *schema-incompatible* checkpoint is not
+    an error: consumers discard it and start fresh, because an old file
+    carries no information this build can misinterpret.  An unparseable
+    one is ambiguous — it may be hours of completed work — so the
+    substrate stops and names the path instead of quietly re-running
+    everything.
+    """
+
+
 class TelemetryError(ReproError):
     """Telemetry misuse: bad metric registration, unwritable sink, ...
 
@@ -121,5 +141,6 @@ __all__ = [
     "ScheduleViolationError",
     "FaultInjectionError",
     "SimTimeoutError",
+    "ExecError",
     "TelemetryError",
 ]

@@ -1,0 +1,150 @@
+"""Picklable job descriptions and results for the execution substrate.
+
+A *job* is one unit of fan-out work: a module-level callable plus a
+plain-data payload, both picklable so the same description runs
+unchanged in-process (``workers=1``) or in a spawn-started worker.  The
+callable's return value is a dict of plain data — never live objects —
+keeping the IPC channel small and the parent's merge deterministic.
+
+Two conventions make results byte-reproducible across worker counts:
+
+* **the span side channel** — a worker that collected
+  :class:`~repro.telemetry.spans.SpanRecord` lists ships them under the
+  reserved :data:`SPANS_KEY` payload key; the substrate pops that key
+  off the result *before* the consumer sees it, so span capture can
+  never perturb checkpoint or artifact bytes (wall-clock noise inside
+  the records themselves is quarantined to ``wall_*`` args, stripped by
+  :func:`~repro.telemetry.spans.scrub_volatile_args` at comparison
+  time);
+* **uniform failure capture** — :func:`run_job` converts a raised
+  exception into a failure dict (type name, message, and — when it
+  pickles — the exception object for strict-mode re-raise) identically
+  in workers and in-process, so a failing job produces the same record
+  at any worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Reserved result key carrying picklable span records out of a worker.
+#: Popped by the substrate before the consumer's merge callback runs:
+#: span capture never changes checkpoint or artifact bytes.
+SPANS_KEY = "_spans"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of fan-out work.
+
+    ``fn`` must be a module-level callable (spawn-picklable) taking the
+    ``payload`` dict and returning a dict of plain data.  ``requires``
+    names auxiliary jobs (keys into the runner's ``aux`` table) whose
+    results this job's merge will consume — the parallel driver submits
+    them eagerly, the serial driver resolves them lazily on first use.
+
+    A spec with ``failure`` set never executes: the parent already
+    resolved it to an error (e.g. an unknown scheme name, which only the
+    parent's registry can report deterministically), and the runner
+    merges that failure at the spec's submission-order position so the
+    resulting table is identical at any worker count.
+    """
+
+    key: Any
+    fn: Optional[Callable[[Dict[str, object]], Dict[str, object]]] = None
+    payload: Optional[Dict[str, object]] = None
+    requires: Tuple[Any, ...] = ()
+    failure: Optional[BaseException] = None
+
+
+@dataclass
+class JobResult:
+    """The merged outcome of one job, spans already split off."""
+
+    key: Any
+    ok: bool
+    #: The job function's return dict (minus :data:`SPANS_KEY`).
+    value: Optional[Dict[str, object]] = None
+    #: Span records shipped under :data:`SPANS_KEY`, if any.
+    spans: Optional[List] = None
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    #: The original exception, when available (in-process always;
+    #: cross-process only when it pickles).  Consumers re-raise it in
+    #: strict modes.
+    exception: Optional[BaseException] = None
+
+
+def run_job(spec: JobSpec, _local: bool = False) -> Dict[str, object]:
+    """Execute one job and capture its outcome as plain data.
+
+    The single execution shim for both drivers: workers run it via
+    ``pool.submit(run_job, spec)``, the serial driver calls it inline
+    with ``_local=True`` (which keeps the original exception object even
+    when it would not survive pickling).  Success wraps the function's
+    return dict as ``{"ok": True, "value": ...}``; an exception becomes
+    ``{"ok": False, "error_type": ..., "error": ...}`` with the same
+    strings either side of the process boundary.
+    """
+    try:
+        value = spec.fn(spec.payload)
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+        raise
+    except Exception as exc:
+        out: Dict[str, object] = {
+            "ok": False,
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+        }
+        if _local:
+            out["exception"] = exc
+        else:
+            try:  # ship the original exception when it pickles
+                pickle.dumps(exc)
+                out["exception"] = exc
+            except Exception:  # pragma: no cover - exotic exceptions
+                pass
+        return out
+    return {"ok": True, "value": value}
+
+
+def result_from_wire(key: Any, raw: Dict[str, object]) -> JobResult:
+    """Fold a :func:`run_job` dict into a :class:`JobResult`,
+    splitting the :data:`SPANS_KEY` side channel off the value."""
+    if raw.get("ok"):
+        value = raw.get("value")
+        spans = None
+        if isinstance(value, dict):
+            spans = value.pop(SPANS_KEY, None)
+        return JobResult(key=key, ok=True, value=value, spans=spans)
+    exc = raw.get("exception")
+    return JobResult(
+        key=key, ok=False,
+        error_type=str(raw.get("error_type")),
+        error=str(raw.get("error")),
+        exception=exc if isinstance(exc, BaseException) else None,
+    )
+
+
+def failure_result(
+    key: Any, error_type: str, error: str,
+    exception: Optional[BaseException] = None,
+) -> JobResult:
+    """A failed :class:`JobResult` built parent-side (pre-resolved
+    failures, broken pools, hard worker deaths)."""
+    return JobResult(
+        key=key, ok=False, error_type=error_type, error=error,
+        exception=exception,
+    )
+
+
+__all__ = [
+    "SPANS_KEY",
+    "JobResult",
+    "JobSpec",
+    "failure_result",
+    "result_from_wire",
+    "run_job",
+]

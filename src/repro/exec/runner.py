@@ -1,0 +1,218 @@
+"""Serial and parallel job drivers with deterministic merging.
+
+:func:`run_jobs` is the one fan-out loop in the repository.  Its
+contract — the property every consumer's byte-identity test pins — is:
+
+* **submission-order merging** — results are merged strictly in the
+  order jobs were given, regardless of completion order, so a
+  ``workers=N`` batch produces byte-identical checkpoints, artifacts,
+  and (scrubbed) span traces to a serial one;
+* **per-job failure isolation** — a job that raises, or whose worker
+  dies hard and breaks the pool, is merged as a failed
+  :class:`~repro.exec.jobs.JobResult` at its own position; completed
+  jobs keep checkpointing, so a crashed batch resumes cleanly;
+* **identical code path** — ``workers=1`` runs the very same
+  :func:`~repro.exec.jobs.run_job` shim inline that a worker process
+  runs, so serial and parallel execution cannot drift apart;
+* **lazy serial / eager parallel auxiliaries** — an auxiliary job (a
+  sweep's baseline run) is submitted eagerly in parallel mode (it
+  overlaps with primaries) but resolved lazily in serial mode (it runs
+  only when a merge first asks for it, preserving the historical serial
+  execution order).  Both modes memoize per call, so each auxiliary
+  runs at most once.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .jobs import JobResult, JobSpec, failure_result, result_from_wire, run_job
+from .pool import validate_workers, worker_pool
+
+#: Merge callback: ``(spec, result, resolve_aux)`` where ``resolve_aux``
+#: maps an auxiliary key (from ``spec.requires``) to its
+#: :class:`~repro.exec.jobs.JobResult`.
+MergeFn = Callable[[JobSpec, JobResult, Callable[[Any], JobResult]], None]
+
+
+def adopt_spans(tracer, track: str, category: str, records) -> None:
+    """Fold one job's shipped span records into a parent tracer.
+
+    Opens a covering span on ``track``, adopts the records beneath it,
+    and closes it — called once per merged job, in submission order, so
+    the parent trace's record sequence (and logical clock) is identical
+    at any worker count.
+    """
+    seq = tracer.begin(track, category)
+    tracer.adopt(records, track=track)
+    tracer.end(seq)
+
+
+def _out_of_budget(start: float, budget_s: Optional[float]) -> bool:
+    return (
+        budget_s is not None
+        and time.monotonic() - start > budget_s
+    )
+
+
+def _spec_failure(spec: JobSpec) -> JobResult:
+    exc = spec.failure
+    return failure_result(
+        spec.key, type(exc).__name__, str(exc), exception=exc
+    )
+
+
+def _broken_result(key: Any, exc: Optional[BaseException]) -> JobResult:
+    reason = str(exc) if exc is not None else (
+        "worker pool broke before this job was submitted"
+    )
+    return failure_result(
+        key,
+        type(exc).__name__ if exc is not None else "BrokenProcessPool",
+        reason,
+    )
+
+
+def _future_result(key: Any, future) -> JobResult:
+    """A worker future's outcome; pool breakage becomes a failure
+    result (isolated per job) instead of aborting the batch."""
+    try:
+        raw = future.result()
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+        raise
+    except BaseException as exc:
+        # BrokenProcessPool and friends: the worker died hard
+        # (os._exit, segfault, OOM-kill).  Every not-yet-merged job
+        # inherits the failure; completed jobs stay checkpointed, so
+        # the batch resumes cleanly.
+        return failure_result(
+            key, type(exc).__name__, str(exc) or "worker process died"
+        )
+    return result_from_wire(key, raw)
+
+
+def run_jobs(
+    jobs: Sequence[JobSpec],
+    merge: MergeFn,
+    aux: Optional[Mapping[Any, JobSpec]] = None,
+    workers: int = 1,
+    skip: Optional[Callable[[JobSpec], bool]] = None,
+    budget_s: Optional[float] = None,
+    on_budget_skip: Optional[Callable[[JobSpec], None]] = None,
+) -> None:
+    """Run ``jobs`` and merge every outcome in submission order.
+
+    ``merge(spec, result, resolve_aux)`` is invoked exactly once per
+    non-skipped job, in the order of ``jobs``; ``resolve_aux`` resolves
+    a key from ``spec.requires`` against the ``aux`` table (memoized —
+    each auxiliary executes at most once per call).  ``skip`` filters
+    already-completed jobs (checkpoint resume) before any execution;
+    past ``budget_s`` wall-clock seconds, remaining jobs go to
+    ``on_budget_skip`` instead of running.  ``workers=1`` executes
+    everything in-process; ``workers>1`` fans out over
+    :func:`~repro.exec.pool.worker_pool`.
+    """
+    validate_workers(workers)
+    aux = aux or {}
+    if workers <= 1:
+        _run_serial(jobs, merge, aux, skip, budget_s, on_budget_skip)
+    else:
+        _run_parallel(
+            jobs, merge, aux, workers, skip, budget_s, on_budget_skip
+        )
+
+
+def _run_serial(jobs, merge, aux, skip, budget_s, on_budget_skip):
+    start = time.monotonic()
+    cache: Dict[Any, JobResult] = {}
+
+    def resolve(key: Any) -> JobResult:
+        got = cache.get(key)
+        if got is None:
+            got = result_from_wire(key, run_job(aux[key], _local=True))
+            cache[key] = got
+        return got
+
+    for spec in jobs:
+        if skip is not None and skip(spec):
+            continue
+        if _out_of_budget(start, budget_s):
+            if on_budget_skip is not None:
+                on_budget_skip(spec)
+            continue
+        if spec.failure is not None:
+            result = _spec_failure(spec)
+        else:
+            result = result_from_wire(
+                spec.key, run_job(spec, _local=True)
+            )
+        merge(spec, result, resolve)
+
+
+def _run_parallel(
+    jobs, merge, aux, workers, skip, budget_s, on_budget_skip
+):
+    start = time.monotonic()
+    #: (spec, future) in submission order; ``future`` is ``None`` for
+    #: pre-resolved failures and for jobs never submitted because the
+    #: pool broke first.
+    planned: List[Tuple[JobSpec, Optional[object]]] = []
+    aux_futures: Dict[Any, object] = {}
+    broken: Optional[BaseException] = None
+    pool = worker_pool(workers)
+    try:
+        # -- submission (deterministic order) ---------------------------
+        for spec in jobs:
+            if skip is not None and skip(spec):
+                continue
+            if _out_of_budget(start, budget_s):
+                if on_budget_skip is not None:
+                    on_budget_skip(spec)
+                continue
+            if spec.failure is not None:
+                planned.append((spec, None))
+                continue
+            future = None
+            if broken is None:
+                try:
+                    for akey in spec.requires:
+                        if akey not in aux_futures:
+                            aux_futures[akey] = pool.submit(
+                                run_job, aux[akey]
+                            )
+                    future = pool.submit(run_job, spec)
+                except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                    raise
+                except BaseException as exc:  # pool already broken
+                    broken = exc
+                    future = None
+            planned.append((spec, future))
+
+        # -- merge (same deterministic order) ---------------------------
+        aux_cache: Dict[Any, JobResult] = {}
+
+        def resolve(key: Any) -> JobResult:
+            got = aux_cache.get(key)
+            if got is None:
+                future = aux_futures.get(key)
+                if future is None:
+                    got = _broken_result(key, broken)
+                else:
+                    got = _future_result(key, future)
+                aux_cache[key] = got
+            return got
+
+        for spec, future in planned:
+            if spec.failure is not None:
+                result = _spec_failure(spec)
+            elif future is None:
+                result = _broken_result(spec.key, broken)
+            else:
+                result = _future_result(spec.key, future)
+            merge(spec, result, resolve)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+__all__ = ["MergeFn", "adopt_spans", "run_jobs"]

@@ -17,17 +17,19 @@ Sweeps are *resilient* by design (production grids run for hours):
   completed cell — re-running the same grid reproduces the exact same
   :class:`SweepPoint` table without re-simulating finished cells.
 
-Sweeps are also *parallel*: because scheme identity is declarative
-(:mod:`repro.schemes` — picklable :class:`~repro.schemes.SchemeSpec`
-records resolved against dotted controller paths) and
-:class:`~repro.sim.runner.SchemeOptions` is picklable, ``workers=N``
-fans :meth:`Sweep.run_grid` out over spawn-started worker processes:
+Execution itself — fan-out, checkpoint persistence, submission-order
+merging — is the substrate's job, not this module's: :meth:`Sweep.run_grid`
+describes each cell as a :class:`~repro.exec.JobSpec` (the picklable
+:class:`~repro.schemes.SchemeSpec` rides in the payload, so
+user-registered schemes parallelize like built-ins) and hands the batch
+to :func:`repro.exec.run_jobs`.  The substrate's contract carries the
+sweep's guarantees:
 
 * **determinism** — per-cell seeds derive from the cell's own identity
   (``config.seed`` + domain), never from shared RNG state or execution
-  order, and results are merged back in *submission* order, so a
-  ``workers=4`` grid writes a byte-identical checkpoint and identical
-  aggregate metrics to a serial run;
+  order, and results merge in *submission* order, so a ``workers=4``
+  grid writes a byte-identical checkpoint and identical aggregate
+  metrics to a serial run;
 * **fault isolation** — a worker exception (or a hard worker crash
   breaking the pool) is recorded per cell in :attr:`failed_points`;
   completed cells keep checkpointing incrementally, so a crashed grid
@@ -36,25 +38,30 @@ fans :meth:`Sweep.run_grid` out over spawn-started worker processes:
   its own :class:`~repro.telemetry.session.TelemetrySession`; the
   per-worker registries are merged deterministically (submission order)
   into the grid artifact via
-  :meth:`~repro.telemetry.registry.MetricsRegistry.merge`;
-* **custom schemes** — the parent's spec rides along in the worker
-  payload and is re-registered on arrival, so user-registered schemes
-  sweep in parallel exactly like built-ins.
+  :meth:`~repro.telemetry.registry.MetricsRegistry.merge`, and with
+  ``collect_spans=True`` each cell's span records ride the substrate's
+  reserved side channel and are adopted in the same order.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
-import os
-import pickle
-import sys
-import tempfile
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError, ReproError, SchemeError
+from ..exec import (
+    SPANS_KEY,
+    CheckpointStore,
+    JobResult,
+    JobSpec,
+    adopt_spans,
+    run_jobs,
+    validate_workers,
+)
+from ..exec import worker_pool as _exec_worker_pool
 from ..schemes import REGISTRY
 from ..telemetry.log import get_logger
 from ..workloads.spec import suite_specs
@@ -120,53 +127,38 @@ def _weighted_ipc(ipcs: Sequence[float],
     return total
 
 
-# ----------------------------------------------------------------------
-# Worker-process entry points (module level: spawn-picklable).
-# ----------------------------------------------------------------------
-
 def worker_pool(workers: int):
-    """A spawn-context :class:`~concurrent.futures.ProcessPoolExecutor`
-    with the parent's import paths mirrored into every worker.
+    """Deprecated alias for :func:`repro.exec.worker_pool`.
 
-    The one process pool recipe the repository uses for simulation
-    fan-out: parallel sweep grids and certification batches
-    (:mod:`repro.certify`) both build their pools here, so worker
-    bootstrap fixes (path mirroring, spawn start method) land in one
-    place.
+    The shared spawn-pool recipe moved to the execution substrate
+    (:mod:`repro.exec`) so that nothing outside :mod:`repro.sim` has to
+    import a sweep module to fan out work.  This thin re-export keeps
+    old call sites running; new code should import from
+    :mod:`repro.exec`.
     """
-    import concurrent.futures as cf
-    import multiprocessing
-
-    if workers < 1:
-        raise ConfigError(f"workers must be >= 1, got {workers}")
-    ctx = multiprocessing.get_context("spawn")
-    return cf.ProcessPoolExecutor(
-        max_workers=workers, mp_context=ctx,
-        initializer=_worker_init, initargs=(list(sys.path),),
+    warnings.warn(
+        "repro.sim.sweep.worker_pool is deprecated; import worker_pool "
+        "from repro.exec instead",
+        DeprecationWarning, stacklevel=2,
     )
+    return _exec_worker_pool(workers)
 
 
-def _worker_init(parent_sys_path: List[str]) -> None:
-    """Mirror the parent's import paths in a spawn-started worker.
-
-    ``spawn`` re-executes the interpreter, so ``sys.path`` edits the
-    parent made (pytest rootdir insertion, scripts prepending ``src``)
-    would otherwise be lost and the repro package — or a test-local
-    controller module a custom spec points at — would not import.
-    """
-    for entry in reversed(parent_sys_path):
-        if entry not in sys.path:
-            sys.path.insert(0, entry)
-
+# ----------------------------------------------------------------------
+# Job entry point (module level: spawn-picklable).
+# ----------------------------------------------------------------------
 
 def _sweep_worker(payload: Dict[str, object]) -> Dict[str, object]:
-    """Run one grid cell in a worker process.
+    """Run one grid cell (in a worker process or in-process).
 
     The payload carries everything the cell needs — the (picklable)
     scheme spec, platform config, options, and budgets — and the return
     value carries only plain data (IPC floats, headline metrics, and
-    optionally the cell's telemetry registry), keeping the IPC channel
-    small and the merge in the parent deterministic.
+    optionally the cell's telemetry registry and span records), keeping
+    the IPC channel small and the merge in the parent deterministic.
+    Exceptions propagate: the substrate's
+    :func:`~repro.exec.run_job` shim captures them identically on both
+    sides of the process boundary.
     """
     from ..schemes import REGISTRY as worker_registry
 
@@ -191,31 +183,15 @@ def _sweep_worker(payload: Dict[str, object]) -> Dict[str, object]:
             options if options is not None else SchemeOptions(),
             telemetry=session,
         )
-    try:
-        result = run_scheme(
-            payload["scheme"], payload["config"],
-            suite_specs(payload["workload"], payload["cores"]),
-            options,
-            max_cycles=payload["max_cycles"],
-            wall_budget_s=payload["wall_budget_s"],
-            engine=payload["engine"],
-        )
-    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
-        raise
-    except Exception as exc:
-        out = {
-            "ok": False,
-            "error_type": type(exc).__name__,
-            "error": str(exc),
-        }
-        try:  # ship the original exception when it pickles (strict mode)
-            pickle.dumps(exc)
-            out["exception"] = exc
-        except Exception:  # pragma: no cover - exotic exceptions
-            pass
-        return out
+    result = run_scheme(
+        payload["scheme"], payload["config"],
+        suite_specs(payload["workload"], payload["cores"]),
+        options,
+        max_cycles=payload["max_cycles"],
+        wall_budget_s=payload["wall_budget_s"],
+        engine=payload["engine"],
+    )
     out = {
-        "ok": True,
         "ipcs": [c.ipc for c in result.cores],
         "bus_utilization": result.bus_utilization,
         "mean_read_latency": result.stats.mean_read_latency,
@@ -226,9 +202,10 @@ def _sweep_worker(payload: Dict[str, object]) -> Dict[str, object]:
     if payload.get("telemetry") and session is not None:
         out["registry"] = session.registry
     if tracer is not None:
-        # SpanRecord named tuples pickle as plain data; the parent
-        # adopts them in submission order under the cell's track.
-        out["spans"] = tracer.records
+        # SpanRecord named tuples pickle as plain data; they ride the
+        # substrate's reserved side channel, which pops them off before
+        # the merge (and thus the checkpoint) ever sees the value.
+        out[SPANS_KEY] = tracer.records
     return out
 
 
@@ -247,11 +224,9 @@ class Sweep:
         workers: int = 1,
         collect_telemetry: bool = False,
         collect_spans: bool = False,
+        fresh: bool = False,
     ) -> None:
-        if workers < 1:
-            raise ConfigError(
-                f"workers must be >= 1, got {workers}"
-            )
+        validate_workers(workers)
         self.config = config
         self.baseline_scheme = baseline_scheme
         self.max_cycles = max_cycles
@@ -296,12 +271,16 @@ class Sweep:
         #: (frozen, hashable) config, so mutating ``self.config`` between
         #: points can never alias a stale baseline onto a new grid.
         self._baselines: Dict[Tuple, RunResult] = {}
-        #: Parallel-mode baseline cache: bare IPC lists (or a failure
-        #: outcome) keyed like :attr:`_baselines`.
-        self._baseline_outcomes: Dict[Tuple, Dict[str, object]] = {}
+        #: Grid-mode baseline cache: one (possibly failed)
+        #: :class:`~repro.exec.JobResult` per baseline identity.
+        self._baseline_outcomes: Dict[Tuple, JobResult] = {}
         self.points: List[SweepPoint] = []
         self.failed_points: List[FailedPoint] = []
         self._completed: Dict[Tuple[str, str, int, str], SweepPoint] = {}
+        self._store = CheckpointStore(
+            checkpoint, CHECKPOINT_VERSION, fresh=fresh,
+            tmp_prefix=".sweep-ckpt-",
+        )
         if checkpoint is not None:
             self._load_checkpoint()
 
@@ -310,12 +289,9 @@ class Sweep:
     # ------------------------------------------------------------------
 
     def _load_checkpoint(self) -> None:
-        if self.checkpoint is None or not os.path.exists(self.checkpoint):
+        data = self._store.load()
+        if data is None:
             return
-        with open(self.checkpoint) as handle:
-            data = json.load(handle)
-        if data.get("version") != CHECKPOINT_VERSION:
-            return  # incompatible checkpoint: start fresh
         for raw in data.get("points", []):
             point = SweepPoint(**raw)
             self.points.append(point)
@@ -326,30 +302,12 @@ class Sweep:
             self.failed_points.append(FailedPoint(**raw))
 
     def _save_checkpoint(self) -> None:
-        if self.checkpoint is None:
-            return
-        data = {
-            "version": CHECKPOINT_VERSION,
+        self._store.save({
             "baseline_scheme": self.baseline_scheme,
             "max_cycles": self.max_cycles,
             "points": [dataclasses.asdict(p) for p in self.points],
             "failed": [dataclasses.asdict(p) for p in self.failed_points],
-        }
-        # Atomic write: a kill mid-dump must never corrupt the file.
-        directory = os.path.dirname(os.path.abspath(self.checkpoint))
-        fd, tmp_path = tempfile.mkstemp(
-            dir=directory, prefix=".sweep-ckpt-"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle, indent=1)
-            os.replace(tmp_path, self.checkpoint)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        })
 
     # ------------------------------------------------------------------
 
@@ -472,13 +430,13 @@ class Sweep:
         which are the *same* order, so the grid tracer's record
         sequence (and logical clock) is identical at any worker count.
         """
-        track = f"{label} x {workload} x {cores}"
-        seq = self.tracer.begin(track, "cell")
-        self.tracer.adopt(records, track=track)
-        self.tracer.end(seq)
+        adopt_spans(
+            self.tracer, f"{label} x {workload} x {cores}", "cell",
+            records,
+        )
 
     # ------------------------------------------------------------------
-    # Grid execution (serial or multiprocess).
+    # Grid execution (serial or multiprocess, one substrate call).
     # ------------------------------------------------------------------
 
     def run_grid(
@@ -490,27 +448,33 @@ class Sweep:
     ) -> List[SweepPoint]:
         """Run the (scheme x workload) grid, honouring :attr:`workers`.
 
-        ``workers=1`` executes in-process through :meth:`run_point`;
-        ``workers>1`` fans cells out across spawn-started processes and
-        merges results back in submission order, so both modes produce
-        byte-identical checkpoints and identical aggregate metrics.
-        The wall-clock of the whole call lands in
-        :attr:`last_grid_wall_s` (and, as a volatile gauge, in the
-        metrics artifact).
+        Every cell becomes one :class:`~repro.exec.JobSpec` handed to
+        :func:`repro.exec.run_jobs`: ``workers=1`` executes the same job
+        shim in-process, ``workers>1`` fans cells out across
+        spawn-started processes, and either way results merge back in
+        submission order — so both modes produce byte-identical
+        checkpoints and identical aggregate metrics.  The wall-clock of
+        the whole call lands in :attr:`last_grid_wall_s` (and, as a
+        volatile gauge, in the metrics artifact).
         """
         start = time.monotonic()
         try:
-            if self.workers <= 1:
-                for scheme in schemes:
-                    for workload in workloads:
-                        self.run_point(
-                            scheme, workload, cores=cores,
-                            options=options,
-                        )
-            else:
-                self._run_grid_parallel(
-                    list(schemes), list(workloads), cores, options
+            if self.workers > 1 and options is not None and (
+                options.telemetry is not None
+            ):
+                raise ConfigError(
+                    "SchemeOptions.telemetry cannot cross process "
+                    "boundaries; use Sweep(collect_telemetry=True) to "
+                    "merge per-worker registries instead"
                 )
+            n = cores or self.config.num_cores
+            jobs, aux = self._grid_jobs(
+                list(schemes), list(workloads), n, options
+            )
+            run_jobs(
+                jobs, self._merge_cell, aux=aux, workers=self.workers,
+                skip=lambda job: job.key in self._completed,
+            )
         finally:
             self.last_grid_wall_s = time.monotonic() - start
         return list(self.points)
@@ -539,196 +503,124 @@ class Sweep:
             "spans": spans,
         }
 
+    def _grid_jobs(
+        self,
+        schemes: List[str],
+        workloads: List[str],
+        cores: int,
+        options: Optional[SchemeOptions],
+    ) -> Tuple[List[JobSpec], Dict[Tuple, JobSpec]]:
+        """Describe the grid as substrate jobs plus baseline auxiliaries.
+
+        Scheme names resolve against the *parent's* registry here — a
+        worker registry may lack parent-only specs, so resolving (and
+        failing) parent-side is what keeps the unknown-scheme error
+        text, and therefore the checkpoint bytes, identical at any
+        worker count.
+        """
+        base_spec = REGISTRY.find(self.baseline_scheme)
+        jobs: List[JobSpec] = []
+        aux: Dict[Tuple, JobSpec] = {}
+        for scheme in schemes:
+            for workload in workloads:
+                key = _point_key(scheme, workload, cores, scheme)
+                try:
+                    spec = REGISTRY.get(scheme)
+                except SchemeError as exc:
+                    jobs.append(JobSpec(key=key, failure=exc))
+                    continue
+                bkey = (self.baseline_scheme, workload, cores,
+                        self.config)
+                requires: Tuple = ()
+                if bkey not in self._baseline_outcomes:
+                    if bkey not in aux:
+                        aux[bkey] = JobSpec(
+                            key=bkey, fn=_sweep_worker,
+                            payload=self._payload(
+                                base_spec, self.baseline_scheme,
+                                workload, cores, options=None,
+                                telemetry=False,
+                            ),
+                        )
+                    requires = (bkey,)
+                jobs.append(JobSpec(
+                    key=key, fn=_sweep_worker,
+                    payload=self._payload(
+                        spec, scheme, workload, cores, options=options,
+                        telemetry=self.collect_telemetry,
+                        spans=self.collect_spans,
+                    ),
+                    requires=requires,
+                ))
+        return jobs, aux
+
+    def _merge_cell(self, job: JobSpec, result: JobResult,
+                    resolve) -> None:
+        """Fold one cell outcome into the table (submission order)."""
+        scheme, workload, cores, label = job.key
+        base: Optional[JobResult] = None
+        if result.ok:
+            bkey = (self.baseline_scheme, workload, cores, self.config)
+            base = self._baseline_outcomes.get(bkey)
+            if base is None:
+                base = resolve(bkey)
+                self._baseline_outcomes[bkey] = base
+            if not base.ok:
+                result = base
+        if not result.ok:
+            self._record_failure(scheme, workload, cores, label, result)
+            return
+        value = result.value
+        point = SweepPoint(
+            scheme=scheme,
+            workload=workload,
+            cores=cores,
+            label=label,
+            weighted_ipc=_weighted_ipc(
+                value["ipcs"], base.value["ipcs"]
+            ),
+            bus_utilization=value["bus_utilization"],
+            mean_read_latency=value["mean_read_latency"],
+            energy_pj=value["energy_pj"],
+            cycles=value["cycles"],
+            faults=value["faults"],
+        )
+        self.points.append(point)
+        self._completed[job.key] = point
+        registry = value.get("registry")
+        if registry is not None and self.cell_registry is not None:
+            self.cell_registry.merge(registry)
+        if result.spans is not None and self.tracer is not None:
+            self._adopt_cell_spans(workload, cores, label, result.spans)
+        self._save_checkpoint()
+        _LOG.info("cell done", extra={
+            "scheme": scheme, "workload": workload, "cores": cores,
+            "weighted_ipc": round(point.weighted_ipc, 6),
+            "cycles": point.cycles,
+        })
+
     def _record_failure(
         self, scheme: str, workload: str, cores: int, label: str,
-        outcome: Dict[str, object],
+        result: JobResult,
     ) -> None:
         if self.strict:
-            exc = outcome.get("exception")
-            if isinstance(exc, BaseException):
-                raise exc
+            if result.exception is not None:
+                raise result.exception
             raise ReproError(
-                f"{outcome['error_type']}: {outcome['error']} "
+                f"{result.error_type}: {result.error} "
                 f"(cell {scheme} x {workload} x {cores})"
             )
         _LOG.warning("cell failed", extra={
             "scheme": scheme, "workload": workload, "cores": cores,
-            "error_type": str(outcome["error_type"]),
-            "error": str(outcome["error"]),
+            "error_type": str(result.error_type),
+            "error": str(result.error),
         })
         self.failed_points.append(FailedPoint(
             scheme=scheme, workload=workload, cores=cores, label=label,
-            error_type=str(outcome["error_type"]),
-            error=str(outcome["error"]),
+            error_type=str(result.error_type),
+            error=str(result.error),
         ))
         self._save_checkpoint()
-
-    def _run_grid_parallel(
-        self,
-        schemes: List[str],
-        workloads: List[str],
-        cores: Optional[int],
-        options: Optional[SchemeOptions],
-    ) -> None:
-        if options is not None and options.telemetry is not None:
-            raise ConfigError(
-                "SchemeOptions.telemetry cannot cross process "
-                "boundaries; use Sweep(collect_telemetry=True) to merge "
-                "per-worker registries instead"
-            )
-        n = cores or self.config.num_cores
-        cells = []
-        for scheme in schemes:
-            for workload in workloads:
-                cells.append(
-                    (scheme, workload, n, scheme,
-                     _point_key(scheme, workload, n, scheme))
-                )
-        #: key -> outcome resolved without a worker (unknown scheme).
-        resolved: Dict[Tuple, Dict[str, object]] = {}
-        futures: Dict[Tuple, object] = {}
-        base_futures: Dict[Tuple, object] = {}
-        base_spec = REGISTRY.find(self.baseline_scheme)
-        broken: Optional[BaseException] = None
-        pool = worker_pool(self.workers)
-        try:
-            # -- submission (deterministic order) -----------------------
-            for scheme, workload, c, label, key in cells:
-                if key in self._completed:
-                    continue
-                try:
-                    spec = REGISTRY.get(scheme)
-                except SchemeError as exc:
-                    resolved[key] = {
-                        "ok": False,
-                        "error_type": type(exc).__name__,
-                        "error": str(exc),
-                        "exception": exc,
-                    }
-                    continue
-                try:
-                    bkey = (self.baseline_scheme, workload, c,
-                            self.config)
-                    if bkey not in self._baseline_outcomes and (
-                        bkey not in base_futures
-                    ):
-                        base_futures[bkey] = pool.submit(
-                            _sweep_worker,
-                            self._payload(
-                                base_spec, self.baseline_scheme,
-                                workload, c, options=None,
-                                telemetry=False,
-                            ),
-                        )
-                    futures[key] = pool.submit(
-                        _sweep_worker,
-                        self._payload(
-                            spec, scheme, workload, c, options=options,
-                            telemetry=self.collect_telemetry,
-                            spans=self.collect_spans,
-                        ),
-                    )
-                except BaseException as exc:  # pool already broken
-                    broken = exc
-                    break
-            # -- merge (same deterministic order) -----------------------
-            for scheme, workload, c, label, key in cells:
-                if key in self._completed:
-                    continue
-                outcome = resolved.get(key)
-                if outcome is None:
-                    future = futures.get(key)
-                    if future is None:
-                        outcome = self._broken_outcome(broken)
-                    else:
-                        outcome = self._future_outcome(future)
-                if outcome["ok"]:
-                    bkey = (self.baseline_scheme, workload, c,
-                            self.config)
-                    base = self._baseline_outcome(base_futures, bkey)
-                    if not base["ok"]:
-                        outcome = base
-                if not outcome["ok"]:
-                    self._record_failure(
-                        scheme, workload, c, label, outcome
-                    )
-                    continue
-                point = SweepPoint(
-                    scheme=scheme,
-                    workload=workload,
-                    cores=c,
-                    label=label,
-                    weighted_ipc=_weighted_ipc(
-                        outcome["ipcs"], base["ipcs"]
-                    ),
-                    bus_utilization=outcome["bus_utilization"],
-                    mean_read_latency=outcome["mean_read_latency"],
-                    energy_pj=outcome["energy_pj"],
-                    cycles=outcome["cycles"],
-                    faults=outcome["faults"],
-                )
-                self.points.append(point)
-                self._completed[key] = point
-                registry = outcome.get("registry")
-                if registry is not None and (
-                    self.cell_registry is not None
-                ):
-                    self.cell_registry.merge(registry)
-                records = outcome.get("spans")
-                if records is not None and self.tracer is not None:
-                    self._adopt_cell_spans(workload, c, label, records)
-                self._save_checkpoint()
-                _LOG.info("cell done", extra={
-                    "scheme": scheme, "workload": workload, "cores": c,
-                    "weighted_ipc": round(point.weighted_ipc, 6),
-                    "cycles": point.cycles,
-                })
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-
-    @staticmethod
-    def _broken_outcome(exc: Optional[BaseException]):
-        reason = str(exc) if exc is not None else (
-            "worker pool broke before this cell was submitted"
-        )
-        return {
-            "ok": False,
-            "error_type": (
-                type(exc).__name__ if exc is not None
-                else "BrokenProcessPool"
-            ),
-            "error": reason,
-        }
-
-    def _future_outcome(self, future) -> Dict[str, object]:
-        """A worker future's outcome; pool breakage becomes a failure
-        outcome (isolated per cell) instead of aborting the grid."""
-        try:
-            return future.result()
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except BaseException as exc:
-            # BrokenProcessPool and friends: the worker died hard
-            # (os._exit, segfault, OOM-kill).  Every not-yet-merged
-            # cell inherits the failure; completed cells stay
-            # checkpointed, so the grid resumes cleanly.
-            return {
-                "ok": False,
-                "error_type": type(exc).__name__,
-                "error": str(exc) or "worker process died",
-            }
-
-    def _baseline_outcome(self, base_futures, bkey):
-        cached = self._baseline_outcomes.get(bkey)
-        if cached is not None:
-            return cached
-        future = base_futures.get(bkey)
-        if future is None:
-            outcome = self._broken_outcome(None)
-        else:
-            outcome = self._future_outcome(future)
-        self._baseline_outcomes[bkey] = outcome
-        return outcome
 
     # ------------------------------------------------------------------
 

@@ -24,3 +24,15 @@ class CrashingFcfsController(FcfsController):
         if os.environ.get(CRASH_ENV) == "1":
             os._exit(3)  # no exception, no cleanup: a hard worker death
         super().__init__(*args, **kwargs)
+
+
+def crashing_job(payload):
+    """A substrate job (:mod:`repro.exec`) that dies hard when armed.
+
+    Module-level and picklable, so the generic kill/resume property
+    tests can fan it through ``run_jobs`` at any worker count; disarmed,
+    it returns a deterministic value so a resumed batch completes.
+    """
+    if os.environ.get(CRASH_ENV) == "1":
+        os._exit(3)
+    return {"value": payload["x"] * 10}
