@@ -11,7 +11,7 @@ checker — the workflow a trusted OS component would run at boot.
 Designing a pipeline is half the workflow; the other half is making
 the design point *runnable*.  The last step registers the certified
 design as a first-class scheme with the declarative registry
-(``repro.schemes``, docs/INTERNALS.md §10) and simulates it — the same
+(``repro.schemes``, docs/schemes.md) and simulates it — the same
 name would work in ``repro run``, ``repro stats``, and (parallel)
 ``Sweep`` grids.
 

@@ -307,6 +307,7 @@ def run_suite(
     workers: int = 1,
     checkpoint: Optional[str] = None,
     fresh: bool = False,
+    store=None,
 ) -> List[BenchMetric]:
     """Run the pinned suite and return its metrics (suite order).
 
@@ -316,9 +317,16 @@ def run_suite(
     scale is discarded), ``fresh`` deliberately discards any existing
     checkpoint.  A failing case fails the whole suite — a performance
     ledger with silently missing numbers would be worse than no entry.
+
+    ``store`` (duck-typed — see :func:`repro.exec.run_jobs`) replays
+    cached case results.  Bench metrics are *wall-clock throughputs*, so
+    a warm store reports the timings of the machine state that populated
+    it — useful for exercising the plumbing, wrong for recording a real
+    ledger entry.  It is therefore opt-in here exactly like everywhere
+    else, and a recorded entry should normally run cold.
     """
     jobs = _suite_jobs(accesses, cores, seed)
-    store = CheckpointStore(
+    ckpt = CheckpointStore(
         checkpoint, CHECKPOINT_VERSION,
         batch_key=json.dumps(
             {"accesses": accesses, "cores": cores, "seed": seed},
@@ -327,7 +335,7 @@ def run_suite(
         fresh=fresh, tmp_prefix=".bench-ckpt-",
     )
     completed: Dict[str, List[Dict[str, object]]] = {}
-    data = store.load()
+    data = ckpt.load()
     if data is not None:
         for key, metrics in data.get("cases", {}).items():
             completed[str(key)] = metrics
@@ -341,11 +349,12 @@ def run_suite(
                 f"{result.error_type}: {result.error}"
             )
         completed[job.key] = result.value["metrics"]
-        store.save({"cases": completed})
+        ckpt.save({"cases": completed})
 
     run_jobs(
         jobs, merge, workers=workers,
         skip=lambda job: job.key in completed,
+        store=store,
     )
     return [
         BenchMetric(**raw)
@@ -401,14 +410,16 @@ def record(
     workers: int = 1,
     checkpoint: Optional[str] = None,
     fresh: bool = False,
+    store=None,
 ) -> str:
     """Run the suite and append the next ``BENCH_<n>.json``.
 
     Returns the written path.  The entry is self-describing: schema
     version, suite scale (so entries at different scales are never
     silently compared — :func:`compare` refuses), platform fingerprint,
-    and one named metric table.  ``workers``, ``checkpoint``, and
-    ``fresh`` pass through to :func:`run_suite`.
+    and one named metric table.  ``workers``, ``checkpoint``, ``fresh``,
+    and ``store`` pass through to :func:`run_suite` (see its caveat on
+    recording warm-cache timings).
     """
     if accesses < 1 or cores < 1:
         raise ConfigError(
@@ -416,7 +427,7 @@ def record(
         )
     metrics = run_suite(
         accesses=accesses, cores=cores, seed=seed, workers=workers,
-        checkpoint=checkpoint, fresh=fresh,
+        checkpoint=checkpoint, fresh=fresh, store=store,
     )
     entries = ledger_entries(root)
     index = entries[-1][0] + 1 if entries else 0

@@ -370,6 +370,7 @@ class CertificationRun:
         budget_s: Optional[float] = None,
         collect_spans: bool = False,
         fresh: bool = False,
+        store=None,
     ) -> None:
         validate_workers(workers)
         if epsilon_bits < 0:
@@ -387,6 +388,12 @@ class CertificationRun:
         self.checkpoint = checkpoint
         self.fresh = fresh
         self.budget_s = budget_s
+        #: Optional content-addressed result store (duck-typed — see
+        #: :func:`repro.exec.run_jobs`).  Certification verdicts are
+        #: pure functions of (scheme, strategy, config, engine, epsilon,
+        #: trial/bootstrap counts), so a warm store replays them without
+        #: re-simulating; artifacts stay byte-identical to a cold run.
+        self.store = store
         #: Wall clock of the last :meth:`run` (volatile; never part of
         #: checkpoints or artifacts).
         self.last_wall_s: Optional[float] = None
@@ -499,6 +506,7 @@ class CertificationRun:
                 skip=lambda job: job.key in self._completed,
                 budget_s=self.budget_s,
                 on_budget_skip=lambda job: skipped.append(job.key),
+                store=self.store,
             )
         finally:
             self.last_wall_s = time.monotonic() - start

@@ -27,6 +27,12 @@ Commands:
 * ``report``  — render one self-contained HTML artifact for a run
   (metrics, leakage histograms, span summary, optional certification
   and bench sections).
+* ``store``   — inspect and maintain the content-addressed result
+  store (``path``/``ls``/``verify``/``gc``).  ``run``, ``sweep``,
+  ``certify``, and ``bench record`` additionally accept
+  ``--store [DIR]``/``--no-store`` to reuse cached results across
+  sessions (default location ``~/.cache/repro-store`` or
+  ``REPRO_STORE_DIR``).
 
 ``--log-level`` arms structured JSON-lines logging on stderr for every
 command.  Any :class:`~repro.errors.ReproError` (bad config, malformed
@@ -89,6 +95,35 @@ def _nonneg_float(text: str) -> float:
     return value
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """The ``--store``/``--no-store`` pair shared by cache-aware commands."""
+    parser.add_argument(
+        "--store", nargs="?", const="", default=None, metavar="DIR",
+        help="reuse results from the content-addressed store; with no "
+             "DIR the default root applies (REPRO_STORE_DIR or "
+             "~/.cache/repro-store)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="force the result store off (overrides --store)",
+    )
+
+
+def _store_from_args(args):
+    """The :class:`~repro.store.ResultStore` a command asked for, or None.
+
+    The store is strictly opt-in: absent ``--store`` (or with
+    ``--no-store``) nothing is read or written, so determinism gates
+    that compare serial vs parallel artifacts always measure real
+    executions.
+    """
+    if getattr(args, "no_store", False) or args.store is None:
+        return None
+    from .store import ResultStore
+
+    return ResultStore(args.store or None)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--accesses", type=int, default=1000,
@@ -145,10 +180,83 @@ def _write_registry(registry, handle, path: str) -> None:
         handle.write("\n")
 
 
+def _run_summary_worker(payload):
+    """Store-keyable kernel of ``repro run``: the printed summary fields.
+
+    Module-level and plain-data-in/plain-data-out so the result store
+    can content-address it like any substrate job.  Deliberately covers
+    only the headline table — fault injection, the invariant monitor,
+    and telemetry artifacts need live objects and always run uncached.
+    """
+    config = SystemConfig(
+        accesses_per_core=payload["accesses"], seed=payload["seed"]
+    )
+    if payload["cores"] != config.num_cores:
+        config = config.with_cores(payload["cores"])
+    result = run_scheme(
+        payload["scheme"], config,
+        suite_specs(payload["workload"], payload["cores"]),
+        SchemeOptions(prefetch=payload["prefetch"]),
+        engine=payload["engine"],
+    )
+    return {
+        "cycles": result.cycles,
+        "total_reads": result.total_reads,
+        "bus_utilization": result.bus_utilization,
+        "mean_read_latency": result.stats.mean_read_latency,
+        "dummy_fraction": result.stats.dummy_fraction,
+        "energy_mj": result.energy.total_mj,
+    }
+
+
+def _cmd_run_cached(args, store) -> int:
+    """The summary-only ``repro run`` path through the result store."""
+    from .exec import JobSpec
+
+    payload = {
+        "scheme": args.scheme, "workload": args.workload,
+        "cores": args.cores, "accesses": args.accesses,
+        "seed": args.seed, "prefetch": bool(args.prefetch),
+        "engine": args.engine,
+    }
+    spec = JobSpec(
+        key=f"run:{args.scheme}:{args.workload}",
+        fn=_run_summary_worker, payload=payload,
+    )
+    raw = store.lookup(spec)
+    if raw is None:
+        raw = {"ok": True, "value": _run_summary_worker(payload)}
+        store.record(spec, raw)
+    value = raw["value"]
+    rows = [
+        ["cycles", value["cycles"]],
+        ["reads completed", value["total_reads"]],
+        ["bus utilization", f"{value['bus_utilization']:.1%}"],
+        ["mean read latency", f"{value['mean_read_latency']:.1f}"],
+        ["dummy fraction", f"{value['dummy_fraction']:.1%}"],
+        ["energy (mJ)", f"{value['energy_mj']:.3f}"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.scheme} on {args.workload} x {args.cores}",
+    ))
+    print(store.summary(), file=sys.stderr)
+    return 0
+
+
 def cmd_run(args) -> int:
     """Simulate one scheme on one workload and print a summary."""
     from .sim.runner import build_system
 
+    store = _store_from_args(args)
+    if store is not None:
+        if args.inject or args.monitor or args.metrics or args.trace:
+            print(
+                "store: bypassed (--inject/--monitor/--metrics/--trace "
+                "need live objects)", file=sys.stderr,
+            )
+        else:
+            return _cmd_run_cached(args, store)
     config = _config(args)
     plan = None
     if args.inject:
@@ -366,6 +474,7 @@ def cmd_sweep(args) -> int:
     (the failures are tabulated, not fatal — resilient by design).
     """
     config = _config(args)
+    store = _store_from_args(args)
     sweep = Sweep(
         config,
         max_cycles=args.max_cycles,
@@ -376,8 +485,11 @@ def cmd_sweep(args) -> int:
         engine=args.engine,
         collect_spans=bool(args.trace),
         fresh=args.fresh,
+        store=store,
     )
     sweep.run_grid(args.schemes, args.workloads)
+    if store is not None:
+        print(store.summary(), file=sys.stderr)
     rows = [
         [p.scheme, p.workload, round(p.weighted_ipc, 3),
          f"{p.bus_utilization:.1%}", f"{p.mean_read_latency:.1f}"]
@@ -434,6 +546,7 @@ def cmd_certify(args) -> int:
         strategies = [
             _dc.replace(s, trials=args.trials) for s in strategies
         ]
+    store = _store_from_args(args)
     run = CertificationRun(
         config=config,
         engine=args.engine,
@@ -444,6 +557,7 @@ def cmd_certify(args) -> int:
         budget_s=args.budget,
         collect_spans=bool(args.trace),
         fresh=args.fresh,
+        store=store,
     )
     artifact_handle = None
     metrics = None
@@ -474,6 +588,8 @@ def cmd_certify(args) -> int:
     finally:
         if artifact_handle is not None:
             artifact_handle.close()
+    if store is not None:
+        print(store.summary(), file=sys.stderr)
     if args.artifact:
         print(f"artifact: {args.artifact}", file=sys.stderr)
     if args.trace:
@@ -494,6 +610,7 @@ def cmd_bench_record(args) -> int:
     """Run the pinned benchmark suite and append a ledger entry."""
     from . import bench
 
+    store = _store_from_args(args)
     path = bench.record(
         args.root,
         accesses=args.accesses,
@@ -503,7 +620,10 @@ def cmd_bench_record(args) -> int:
         workers=args.workers,
         checkpoint=args.checkpoint,
         fresh=args.fresh,
+        store=store,
     )
+    if store is not None:
+        print(store.summary(), file=sys.stderr)
     print(f"recorded: {path}")
     return 0
 
@@ -517,6 +637,68 @@ def cmd_bench_compare(args) -> int:
     )
     print(bench.format_comparison(comparison))
     return 0 if comparison.passed else 1
+
+
+def cmd_store_path(args) -> int:
+    """Print the resolved result-store root directory."""
+    from .store import resolve_store_root
+
+    print(resolve_store_root(args.store))
+    return 0
+
+
+def cmd_store_ls(args) -> int:
+    """List every entry in the result store with its health status."""
+    from .store import iter_entries, resolve_store_root
+
+    root = resolve_store_root(args.store)
+    rows = []
+    total = 0
+    for entry in iter_entries(root):
+        total += entry.size
+        rows.append(
+            [entry.key[:16], entry.status, entry.size, entry.fn]
+        )
+    if not rows:
+        print(f"store {root}: empty")
+        return 0
+    print(format_table(
+        ["key", "status", "bytes", "fn"], rows, title=f"store {root}",
+    ))
+    print(f"\n{len(rows)} entries, {total} bytes")
+    return 0
+
+
+def cmd_store_gc(args) -> int:
+    """Reap corrupt/stale (and optionally aged or all) store entries."""
+    from .store import gc as store_gc, resolve_store_root
+
+    root = resolve_store_root(args.store)
+    older = (
+        args.older_than * 86400.0
+        if args.older_than is not None else None
+    )
+    result = store_gc(root, older_than_s=older, everything=args.all)
+    print(
+        f"store {root}: removed {result.removed}, kept {result.kept}, "
+        f"reclaimed {result.reclaimed_bytes} bytes"
+    )
+    return 0
+
+
+def cmd_store_verify(args) -> int:
+    """Audit every store entry; exit 1 when any is corrupt or stale."""
+    from .store import resolve_store_root, verify as store_verify
+
+    root = resolve_store_root(args.store)
+    bad = store_verify(root)
+    if not bad:
+        print(f"store {root}: OK")
+        return 0
+    for entry in bad:
+        print(f"{entry.status}: {entry.path}")
+    print(f"store {root}: {len(bad)} bad entries")
+    return 1
 
 
 def cmd_report(args) -> int:
@@ -643,6 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINES, default="reference",
         help="simulation engine (default reference)",
     )
+    _add_store_flags(p)
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
@@ -739,6 +922,7 @@ def build_parser() -> argparse.ArgumentParser:
              "merged Chrome trace-event JSON (deterministic modulo "
              "wall-clock args at any --workers count)",
     )
+    _add_store_flags(p)
     _add_common(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -813,6 +997,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINES, default="reference",
         help="simulation engine for both worlds (default reference)",
     )
+    _add_store_flags(p)
     _add_common(p)
     p.set_defaults(func=cmd_certify)
 
@@ -861,6 +1046,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="discard any existing checkpoint instead of resuming "
              "(escape hatch for corrupt files)",
     )
+    _add_store_flags(b)
     b.set_defaults(func=cmd_bench_record)
 
     b = bench_sub.add_parser(
@@ -875,6 +1061,50 @@ def build_parser() -> argparse.ArgumentParser:
              "REPRO_BENCH_TOLERANCE environment variable)",
     )
     b.set_defaults(func=cmd_bench_compare)
+
+    p = sub.add_parser(
+        "store", help="content-addressed result-store maintenance"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    def _store_root_flag(sp):
+        sp.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="store root (default: REPRO_STORE_DIR or "
+                 "~/.cache/repro-store)",
+        )
+
+    s = store_sub.add_parser(
+        "path", help="print the resolved store root"
+    )
+    _store_root_flag(s)
+    s.set_defaults(func=cmd_store_path)
+
+    s = store_sub.add_parser("ls", help="list cached entries")
+    _store_root_flag(s)
+    s.set_defaults(func=cmd_store_ls)
+
+    s = store_sub.add_parser(
+        "verify",
+        help="audit entry health; exit 1 on corrupt/stale entries",
+    )
+    _store_root_flag(s)
+    s.set_defaults(func=cmd_store_verify)
+
+    s = store_sub.add_parser(
+        "gc", help="reap corrupt/stale (and optionally aged) entries"
+    )
+    _store_root_flag(s)
+    s.add_argument(
+        "--older-than", type=_nonneg_float, default=None,
+        metavar="DAYS",
+        help="also remove healthy entries untouched for this many days",
+    )
+    s.add_argument(
+        "--all", action="store_true",
+        help="remove every entry (empty the store)",
+    )
+    s.set_defaults(func=cmd_store_gc)
 
     p = sub.add_parser(
         "report", help="self-contained HTML run report"

@@ -23,6 +23,12 @@ genuine bug in the simulator:
   budget; sweeps record these and move on instead of aborting the grid.
 * :class:`TelemetryError` — the observability layer was misused (metric
   re-registered with a different shape, unwritable trace/metrics sink).
+* :class:`StoreError` — the content-addressed result store
+  (:mod:`repro.store`) was pointed at an unusable root (a path that
+  exists but is not a directory, or one that cannot be created).
+  Deliberately *not* raised for corrupt cache entries: those are
+  evicted and recomputed, because a cache must never fail a run it
+  could instead warm up.
 * :class:`ExecError` — the execution substrate (:mod:`repro.exec`) hit a
   state it must not repair silently, e.g. an unparseable (truncated or
   corrupt) checkpoint file.  Deliberately distinct from a merely
@@ -122,6 +128,19 @@ class ExecError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """The content-addressed result store cannot use its root directory.
+
+    Raised by :mod:`repro.store` when the configured store root (explicit
+    path, ``REPRO_STORE_DIR``, or the default ``~/.cache/repro-store``)
+    exists but is not a directory, or cannot be created.  Everything else
+    the store encounters — corrupt entries, schema-version mismatches,
+    unpicklable results, a read-only object tree — degrades to a cache
+    miss with a warning, never an exception: caching is an accelerator,
+    not a correctness dependency.
+    """
+
+
 class TelemetryError(ReproError):
     """Telemetry misuse: bad metric registration, unwritable sink, ...
 
@@ -142,5 +161,6 @@ __all__ = [
     "FaultInjectionError",
     "SimTimeoutError",
     "ExecError",
+    "StoreError",
     "TelemetryError",
 ]

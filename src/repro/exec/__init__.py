@@ -23,7 +23,9 @@ Four layers, one contract:
   :class:`~repro.errors.ExecError` for unparseable files);
 * :mod:`repro.exec.runner` — serial and parallel drivers with
   submission-order merging, per-job failure isolation, wall-clock
-  budgets, and span adoption.
+  budgets, span adoption, and an optional duck-typed ``store=`` hook
+  (``lookup``/``record``) through which :mod:`repro.store` substitutes
+  cached results without perturbing merge order.
 
 The contract: a ``workers=N`` batch produces byte-identical
 checkpoints, artifacts, and (``wall_*``-scrubbed) span traces to a
@@ -31,8 +33,9 @@ serial run, and a killed batch resumes from its checkpoint to the same
 bytes an uninterrupted run writes.
 
 Layering: this package imports nothing from :mod:`repro.sim`,
-:mod:`repro.certify`, or :mod:`repro.bench` — consumers adapt *onto*
-the substrate, never the other way around (CI greps the DAG).
+:mod:`repro.certify`, :mod:`repro.bench`, or :mod:`repro.store` —
+consumers (and the result store) adapt *onto* the substrate, never the
+other way around (CI greps the DAG).
 """
 
 from .checkpoint import CheckpointStore

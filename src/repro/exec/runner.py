@@ -20,6 +20,15 @@ contract — the property every consumer's byte-identity test pins — is:
   only when a merge first asks for it, preserving the historical serial
   execution order).  Both modes memoize per call, so each auxiliary
   runs at most once.
+* **transparent result reuse** — an optional ``store`` (duck-typed:
+  ``lookup(spec) -> Optional[raw]``, ``record(spec, raw) -> bool``,
+  e.g. :class:`repro.store.ResultStore`) is consulted before a job
+  executes and written back after it succeeds.  A hit substitutes the
+  cached raw wire dict at exactly the point the computed one would have
+  appeared, so merge order, aux semantics, and every artifact stay
+  byte-identical between cold, warm, serial, and parallel runs.  The
+  substrate never imports the store package — only this two-method
+  protocol — keeping the layering DAG acyclic.
 """
 
 from __future__ import annotations
@@ -74,9 +83,26 @@ def _broken_result(key: Any, exc: Optional[BaseException]) -> JobResult:
     )
 
 
-def _future_result(key: Any, future) -> JobResult:
+class _CachedRaw:
+    """Submission-phase marker: this job's raw result came from the store.
+
+    Sits in the ``planned`` list where a future otherwise would, so the
+    merge walk converts it at exactly the same position — the property
+    that keeps warm-run artifacts byte-identical to cold ones.
+    """
+
+    __slots__ = ("raw",)
+
+    def __init__(self, raw: dict) -> None:
+        self.raw = raw
+
+
+def _settled(spec: JobSpec, future, store) -> JobResult:
     """A worker future's outcome; pool breakage becomes a failure
-    result (isolated per job) instead of aborting the batch."""
+    result (isolated per job) instead of aborting the batch.  Fresh
+    successes are written back to ``store`` *before* wire conversion
+    (``result_from_wire`` pops shipped spans out of the value dict, so
+    the cache must see the intact raw first)."""
     try:
         raw = future.result()
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover
@@ -87,9 +113,12 @@ def _future_result(key: Any, future) -> JobResult:
         # inherits the failure; completed jobs stay checkpointed, so
         # the batch resumes cleanly.
         return failure_result(
-            key, type(exc).__name__, str(exc) or "worker process died"
+            spec.key, type(exc).__name__,
+            str(exc) or "worker process died",
         )
-    return result_from_wire(key, raw)
+    if store is not None:
+        store.record(spec, raw)
+    return result_from_wire(spec.key, raw)
 
 
 def run_jobs(
@@ -100,6 +129,7 @@ def run_jobs(
     skip: Optional[Callable[[JobSpec], bool]] = None,
     budget_s: Optional[float] = None,
     on_budget_skip: Optional[Callable[[JobSpec], None]] = None,
+    store=None,
 ) -> None:
     """Run ``jobs`` and merge every outcome in submission order.
 
@@ -112,25 +142,41 @@ def run_jobs(
     ``on_budget_skip`` instead of running.  ``workers=1`` executes
     everything in-process; ``workers>1`` fans out over
     :func:`~repro.exec.pool.worker_pool`.
+
+    ``store`` (optional, duck-typed — see the module docstring) is
+    consulted per job before execution and written back on success; a
+    hit short-circuits execution but changes nothing about merge order
+    or the results any consumer observes.
     """
     validate_workers(workers)
     aux = aux or {}
     if workers <= 1:
-        _run_serial(jobs, merge, aux, skip, budget_s, on_budget_skip)
+        _run_serial(
+            jobs, merge, aux, skip, budget_s, on_budget_skip, store
+        )
     else:
         _run_parallel(
-            jobs, merge, aux, workers, skip, budget_s, on_budget_skip
+            jobs, merge, aux, workers, skip, budget_s, on_budget_skip,
+            store,
         )
 
 
-def _run_serial(jobs, merge, aux, skip, budget_s, on_budget_skip):
+def _run_serial(jobs, merge, aux, skip, budget_s, on_budget_skip, store):
     start = time.monotonic()
     cache: Dict[Any, JobResult] = {}
+
+    def execute(spec: JobSpec) -> JobResult:
+        raw = store.lookup(spec) if store is not None else None
+        if raw is None:
+            raw = run_job(spec, _local=True)
+            if store is not None:
+                store.record(spec, raw)
+        return result_from_wire(spec.key, raw)
 
     def resolve(key: Any) -> JobResult:
         got = cache.get(key)
         if got is None:
-            got = result_from_wire(key, run_job(aux[key], _local=True))
+            got = execute(aux[key])
             cache[key] = got
         return got
 
@@ -144,21 +190,20 @@ def _run_serial(jobs, merge, aux, skip, budget_s, on_budget_skip):
         if spec.failure is not None:
             result = _spec_failure(spec)
         else:
-            result = result_from_wire(
-                spec.key, run_job(spec, _local=True)
-            )
+            result = execute(spec)
         merge(spec, result, resolve)
 
 
 def _run_parallel(
-    jobs, merge, aux, workers, skip, budget_s, on_budget_skip
+    jobs, merge, aux, workers, skip, budget_s, on_budget_skip, store
 ):
     start = time.monotonic()
-    #: (spec, future) in submission order; ``future`` is ``None`` for
-    #: pre-resolved failures and for jobs never submitted because the
-    #: pool broke first.
+    #: (spec, handle) in submission order; ``handle`` is a future, a
+    #: :class:`_CachedRaw` for store hits, or ``None`` for pre-resolved
+    #: failures and jobs never submitted because the pool broke first.
     planned: List[Tuple[JobSpec, Optional[object]]] = []
     aux_futures: Dict[Any, object] = {}
+    aux_raw: Dict[Any, dict] = {}
     broken: Optional[BaseException] = None
     pool = worker_pool(workers)
     try:
@@ -173,21 +218,38 @@ def _run_parallel(
             if spec.failure is not None:
                 planned.append((spec, None))
                 continue
-            future = None
+            handle = None
             if broken is None:
                 try:
+                    # Auxiliaries first — even when this job itself hits
+                    # the store, its merge may still resolve the aux.
                     for akey in spec.requires:
-                        if akey not in aux_futures:
+                        if akey in aux_futures or akey in aux_raw:
+                            continue
+                        araw = (
+                            store.lookup(aux[akey])
+                            if store is not None else None
+                        )
+                        if araw is not None:
+                            aux_raw[akey] = araw
+                        else:
                             aux_futures[akey] = pool.submit(
                                 run_job, aux[akey]
                             )
-                    future = pool.submit(run_job, spec)
+                    raw = (
+                        store.lookup(spec)
+                        if store is not None else None
+                    )
+                    if raw is not None:
+                        handle = _CachedRaw(raw)
+                    else:
+                        handle = pool.submit(run_job, spec)
                 except (KeyboardInterrupt, SystemExit):  # pragma: no cover
                     raise
                 except BaseException as exc:  # pool already broken
                     broken = exc
-                    future = None
-            planned.append((spec, future))
+                    handle = None
+            planned.append((spec, handle))
 
         # -- merge (same deterministic order) ---------------------------
         aux_cache: Dict[Any, JobResult] = {}
@@ -195,21 +257,26 @@ def _run_parallel(
         def resolve(key: Any) -> JobResult:
             got = aux_cache.get(key)
             if got is None:
-                future = aux_futures.get(key)
-                if future is None:
-                    got = _broken_result(key, broken)
+                if key in aux_raw:
+                    got = result_from_wire(key, aux_raw[key])
                 else:
-                    got = _future_result(key, future)
+                    future = aux_futures.get(key)
+                    if future is None:
+                        got = _broken_result(key, broken)
+                    else:
+                        got = _settled(aux[key], future, store)
                 aux_cache[key] = got
             return got
 
-        for spec, future in planned:
+        for spec, handle in planned:
             if spec.failure is not None:
                 result = _spec_failure(spec)
-            elif future is None:
+            elif isinstance(handle, _CachedRaw):
+                result = result_from_wire(spec.key, handle.raw)
+            elif handle is None:
                 result = _broken_result(spec.key, broken)
             else:
-                result = _future_result(spec.key, future)
+                result = _settled(spec, handle, store)
             merge(spec, result, resolve)
     finally:
         pool.shutdown(wait=False, cancel_futures=True)

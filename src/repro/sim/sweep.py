@@ -225,6 +225,7 @@ class Sweep:
         collect_telemetry: bool = False,
         collect_spans: bool = False,
         fresh: bool = False,
+        store=None,
     ) -> None:
         validate_workers(workers)
         self.config = config
@@ -243,6 +244,14 @@ class Sweep:
         #: Worker processes for :meth:`run_grid`; 1 keeps everything
         #: in-process (bit-identical results either way).
         self.workers = workers
+        #: Optional content-addressed result store (duck-typed — see
+        #: :func:`repro.exec.run_jobs`; normally a
+        #: :class:`repro.store.ResultStore`).  A warm store replays the
+        #: cold run's raw cell results, so checkpoints, artifacts, and
+        #: metrics snapshots stay byte-identical while zero simulations
+        #: execute.  ``run_point`` runs in-process and is deliberately
+        #: not cached.
+        self.store = store
         #: Collect a per-cell telemetry registry and merge them (in
         #: deterministic submission order) into :attr:`cell_registry`.
         self.collect_telemetry = collect_telemetry
@@ -474,6 +483,7 @@ class Sweep:
             run_jobs(
                 jobs, self._merge_cell, aux=aux, workers=self.workers,
                 skip=lambda job: job.key in self._completed,
+                store=self.store,
             )
         finally:
             self.last_grid_wall_s = time.monotonic() - start

@@ -626,7 +626,8 @@ def _package_files(package):
 
 class TestImportLayering:
     def test_exec_imports_no_consumer(self):
-        forbidden = ("repro.sim", "repro.certify", "repro.bench")
+        forbidden = ("repro.sim", "repro.certify", "repro.bench",
+                     "repro.store")
         for path in _package_files("exec"):
             for module in _imports(path):
                 assert not module.startswith(forbidden), (
